@@ -1,0 +1,83 @@
+// Ablation: why the paper builds the unlinkable comparison on (exponential)
+// ElGamal rather than Paillier — reference [10] of the paper.
+//
+// Paillier matches ElGamal's homomorphic toolbox (add / scale /
+// re-randomize / zero-preserving exponent masking) and even decrypts sums
+// directly; at equal modulus size its per-operation costs and ciphertext
+// sizes are compared below. The disqualifier is structural, not
+// performance: step 5 of the framework needs a joint key no single party
+// can use alone, which ElGamal gets from one broadcast round
+// (y = Π g^{x_j}), while Paillier's secret is the factorization of N —
+// a dealerless distributed RSA-modulus generation, orders of magnitude more
+// protocol machinery. This bench makes the performance half of that
+// trade-off concrete.
+#include <chrono>
+#include <cstdio>
+
+#include "benchcore/model.h"
+#include "crypto/elgamal.h"
+#include "crypto/paillier.h"
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename F>
+double time_per_call(F&& body, int iters) {
+  body();
+  const double t0 = now_s();
+  for (int i = 0; i < iters; ++i) body();
+  return (now_s() - t0) / iters;
+}
+}  // namespace
+
+int main() {
+  using namespace ppgr;
+  using benchcore::TablePrinter;
+  mpz::ChaChaRng rng{77};
+
+  std::printf("Ablation: exponential ElGamal vs Paillier as the phase-2 "
+              "cryptosystem\n(80-bit security: DL/RSA-1024, P-192)\n\n");
+  TablePrinter table({"system", "ct bytes", "encrypt", "add", "scale",
+                      "distributed key"});
+
+  // ElGamal over the two production groups.
+  for (const auto gid : {group::GroupId::kEcP192, group::GroupId::kDl1024}) {
+    const auto g = group::make_group(gid);
+    const auto kp = crypto::keygen(*g, rng);
+    auto ct = crypto::encrypt_exp(*g, kp.y, mpz::Nat{1}, rng);
+    const double enc = time_per_call(
+        [&] { ct = crypto::encrypt_exp(*g, kp.y, mpz::Nat{1}, rng); }, 10);
+    const double add =
+        time_per_call([&] { (void)crypto::ct_add(*g, ct, ct); }, 50);
+    const double scale = time_per_call(
+        [&] { (void)crypto::ct_scale(*g, ct, g->order()); }, 10);
+    table.row({"elgamal/" + g->name(),
+               std::to_string(crypto::ciphertext_bytes(*g)),
+               TablePrinter::fmt_seconds(enc), TablePrinter::fmt_seconds(add),
+               TablePrinter::fmt_seconds(scale), "1 broadcast round"});
+  }
+
+  // Paillier at 1024-bit modulus (same 80-bit security class as DL-1024).
+  const auto key = crypto::PaillierPrivateKey::generate(1024, rng);
+  const auto& pub = key.public_key();
+  mpz::Nat ct = pub.encrypt(mpz::Nat{1}, rng);
+  const double enc =
+      time_per_call([&] { ct = pub.encrypt(mpz::Nat{1}, rng); }, 10);
+  const double add = time_per_call([&] { (void)pub.add(ct, ct); }, 50);
+  const double scale =
+      time_per_call([&] { (void)pub.scale(ct, pub.n()); }, 10);
+  table.row({"paillier-1024", std::to_string(pub.ciphertext_bytes()),
+             TablePrinter::fmt_seconds(enc), TablePrinter::fmt_seconds(add),
+             TablePrinter::fmt_seconds(scale),
+             "distributed RSA keygen (impractical)"});
+
+  std::printf("\nPaillier would also let the initiator decrypt sums directly "
+              "(no g^m zero\ntest needed), but the framework cannot give any "
+              "single party that power —\nthe distributed-key column is the "
+              "decisive one, exactly as the paper's\nSec. II argues.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension experiment: the probabilistic top-k protocol (Burkhart &
+// Dimitropoulos, the paper's reference [4]) vs the full multiparty sort as
+// the phase-2 engine, when the application only needs the top-k (the
+// group-ranking motivation needs each participant's rank, which top-k does
+// NOT provide — this quantifies what that extra output costs).
+#include <cstdio>
+
+#include "benchcore/model.h"
+#include "sss/mpc_sort.h"
+#include "sss/topk.h"
+
+int main() {
+  using namespace ppgr;
+  using benchcore::TablePrinter;
+  const auto spec = benchcore::paper_default_spec();
+  const std::size_t l = spec.beta_bits();
+  const mpz::FpCtx& field = core::ss_field_for_beta_bits(l);
+
+  std::printf("Extension: probabilistic top-k vs full rank sort "
+              "(SS substrate, l = %zu)\n\n", l);
+  TablePrinter table({"n", "topk cmps", "sort cmps", "topk mults",
+                      "sort mults", "topk rounds", "sort rounds"});
+  for (const std::size_t n : {10u, 25u, 40u, 70u}) {
+    mpz::ChaChaRng rng{400 + n};
+    const std::size_t t = std::max<std::size_t>(1, (n - 1) / 2);
+    sss::MpcEngine topk_engine{field, n, t, rng,
+                               sss::MpcEngine::Mode::kCountOnly};
+    const auto topk =
+        sss::probabilistic_topk(topk_engine, std::vector<mpz::Nat>(n), 3, l);
+    sss::MpcEngine sort_engine{field, n, t, rng,
+                               sss::MpcEngine::Mode::kCountOnly};
+    const auto sort = sss::mpc_rank_sort(sort_engine, std::vector<mpz::Nat>(n));
+    table.row({std::to_string(n), TablePrinter::fmt_count(topk.costs.comparisons),
+               TablePrinter::fmt_count(sort.costs.comparisons),
+               TablePrinter::fmt_count(topk.costs.mults),
+               TablePrinter::fmt_count(sort.costs.mults),
+               TablePrinter::fmt_count(topk.costs.rounds),
+               TablePrinter::fmt_count(sort.costs.rounds)});
+  }
+  std::printf(
+      "\nAt these l (~70 bits) and n the full sort needs FEWER comparisons\n"
+      "(n(log n)^2/4 < l*n until (log n)^2 > 4l, i.e. n ~ 10^5): binary\n"
+      "threshold search only pays off for short values or huge groups. The\n"
+      "original [4] gains its speed from hash-bucket counting rather than\n"
+      "secure comparisons; within a comparison-based substrate the trade-off\n"
+      "above is what remains, plus top-k leaks aggregate counts, may\n"
+      "over-select on ties, and yields no individual ranks (which the\n"
+      "group-ranking framework requires).\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 2(a): per-participant computation time vs the number of participants
+// n. Paper observation to reproduce: the SS framework grows ~cubically in n
+// while the HE frameworks grow ~quadratically, and ECC < DL < SS at
+// moderate-to-large n.
+#include "fig2_common.h"
+
+int main() {
+  using namespace ppgr::bench;
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : {10u, 20u, 25u, 30u, 40u, 55u, 70u, 85u, 100u}) {
+    points.push_back({n, ppgr::benchcore::paper_default_spec(), n});
+  }
+  run_fig2_sweep("Fig 2(a)", "n", points);
+  return 0;
+}

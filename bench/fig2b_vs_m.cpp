@@ -1,0 +1,18 @@
+// Fig. 2(b): per-participant computation time vs the attribute dimension m
+// at n = 25. m enters the bit length l only logarithmically
+// (l = h + ceil(log2 m) + ...), so the curves grow logarithmically in m —
+// the paper's reported shape.
+#include "fig2_common.h"
+
+int main() {
+  using namespace ppgr::bench;
+  std::vector<SweepPoint> points;
+  for (const std::size_t m : {5u, 10u, 20u, 40u, 80u, 160u}) {
+    auto spec = ppgr::benchcore::paper_default_spec();
+    spec.m = m;
+    spec.t = m / 2;
+    points.push_back({m, spec, 25});
+  }
+  run_fig2_sweep("Fig 2(b)", "m", points);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 2(c): per-participant computation time vs the attribute bit length d1
+// at n = 25. d1 enters l linearly, so all frameworks grow linearly — the
+// paper's reported shape.
+#include "fig2_common.h"
+
+int main() {
+  using namespace ppgr::bench;
+  std::vector<SweepPoint> points;
+  for (const std::size_t d1 : {5u, 10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
+    auto spec = ppgr::benchcore::paper_default_spec();
+    spec.d1 = d1;
+    points.push_back({d1, spec, 25});
+  }
+  run_fig2_sweep("Fig 2(c)", "d1", points);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 2(d): per-participant computation time vs the masking-factor bit
+// length h at n = 25. h enters l linearly, so growth is linear — the paper's
+// reported shape.
+#include "fig2_common.h"
+
+int main() {
+  using namespace ppgr::bench;
+  std::vector<SweepPoint> points;
+  for (const std::size_t h : {5u, 10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
+    auto spec = ppgr::benchcore::paper_default_spec();
+    spec.h = h;
+    points.push_back({h, spec, 25});
+  }
+  run_fig2_sweep("Fig 2(d)", "h", points);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark): the primitive costs that feed the
+// figure models — group multiplication/exponentiation for every group the
+// paper evaluates, bignum kernels, ElGamal operations and the GRR secure
+// multiplication. These are the measured quantities behind
+// benchcore::calibrate_*.
+#include <benchmark/benchmark.h>
+
+#include "crypto/elgamal.h"
+#include "group/group.h"
+#include "mpz/modarith.h"
+#include "mpz/prime.h"
+#include "sss/mpc_engine.h"
+
+namespace {
+
+using namespace ppgr;
+
+const group::Group& group_for(int id) {
+  static const auto groups = [] {
+    std::vector<std::unique_ptr<group::Group>> gs;
+    gs.push_back(group::make_group(group::GroupId::kDl1024));
+    gs.push_back(group::make_group(group::GroupId::kDl2048));
+    gs.push_back(group::make_group(group::GroupId::kDl3072));
+    gs.push_back(group::make_group(group::GroupId::kEcP192));
+    gs.push_back(group::make_group(group::GroupId::kEcP224));
+    gs.push_back(group::make_group(group::GroupId::kEcP256));
+    return gs;
+  }();
+  return *groups[static_cast<std::size_t>(id)];
+}
+
+void BM_GroupMul(benchmark::State& state) {
+  const auto& g = group_for(static_cast<int>(state.range(0)));
+  mpz::ChaChaRng rng{1};
+  group::Elem a = g.exp_g(g.random_nonzero_scalar(rng));
+  const group::Elem b = g.exp_g(g.random_nonzero_scalar(rng));
+  for (auto _ : state) {
+    a = g.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_GroupMul)->DenseRange(0, 5);
+
+void BM_GroupExp(benchmark::State& state) {
+  const auto& g = group_for(static_cast<int>(state.range(0)));
+  mpz::ChaChaRng rng{2};
+  const group::Elem a = g.exp_g(g.random_nonzero_scalar(rng));
+  const mpz::Nat s = g.random_nonzero_scalar(rng);
+  for (auto _ : state) {
+    auto r = g.exp(a, s);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_GroupExp)->DenseRange(0, 5);
+
+void BM_ElGamalEncryptExp(benchmark::State& state) {
+  const auto& g = group_for(static_cast<int>(state.range(0)));
+  mpz::ChaChaRng rng{3};
+  const auto kp = crypto::keygen(g, rng);
+  for (auto _ : state) {
+    auto ct = crypto::encrypt_exp(g, kp.y, mpz::Nat{1}, rng);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_ElGamalEncryptExp)->DenseRange(0, 5);
+
+void BM_ElGamalShuffleHopStep(benchmark::State& state) {
+  // One step-8 ciphertext transformation: partial decrypt + exp-randomize.
+  const auto& g = group_for(static_cast<int>(state.range(0)));
+  mpz::ChaChaRng rng{4};
+  const auto kp = crypto::keygen(g, rng);
+  auto ct = crypto::encrypt_exp(g, kp.y, mpz::Nat{1}, rng);
+  const mpz::Nat r = g.random_nonzero_scalar(rng);
+  for (auto _ : state) {
+    auto out = crypto::exp_randomize(g, crypto::partial_decrypt(g, kp.x, ct), r);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_ElGamalShuffleHopStep)->DenseRange(0, 5);
+
+void BM_MontMul(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  mpz::ChaChaRng rng{5};
+  const mpz::Nat m = mpz::random_prime(bits, rng);
+  const mpz::MontCtx ctx{m};
+  mpz::Nat a = ctx.to_mont(rng.below(m));
+  const mpz::Nat b = ctx.to_mont(rng.below(m));
+  for (auto _ : state) {
+    a = ctx.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MontMul)->Arg(256)->Arg(1024)->Arg(2048)->Arg(3072);
+
+void BM_NatMul(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  mpz::ChaChaRng rng{6};
+  const mpz::Nat a = rng.bits(bits), b = rng.bits(bits);
+  for (auto _ : state) {
+    auto r = mpz::Nat::mul(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+}
+// Straddles the Karatsuba threshold (24 limbs = 1536 bits).
+BENCHMARK(BM_NatMul)->Arg(512)->Arg(1024)->Arg(1536)->Arg(3072)->Arg(8192);
+
+void BM_GrrMultiplication(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  mpz::ChaChaRng rng{7};
+  static const mpz::FpCtx field{mpz::Nat::from_hex("3ffffffd7")};  // 34-bit
+  sss::MpcEngine engine{field, n, (n - 1) / 2, rng};
+  const auto a = engine.input(field.to(mpz::Nat{123}));
+  const auto b = engine.input(field.to(mpz::Nat{456}));
+  for (auto _ : state) {
+    auto r = engine.mul(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("all-party cost; divide by n for per-party");
+}
+BENCHMARK(BM_GrrMultiplication)->Arg(5)->Arg(25)->Arg(45)->Arg(70);
+
+}  // namespace
+
+BENCHMARK_MAIN();

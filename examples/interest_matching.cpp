@@ -1,0 +1,70 @@
+// Personal interest matching (Sec. I): a person wants to find the "best
+// matched" people in a group by ranking them against her own preference
+// vector over *sensitive* attributes — here, positions on political and
+// lifestyle questions — without anyone's answers leaking.
+//
+// The matcher plays the initiator role with all-"equal-to" attributes
+// (t = m): the gain is the negated weighted squared distance to her own
+// profile, so rank 1 = closest match. Demonstrates:
+//  - a pure equal-to instance of Def. 1;
+//  - identity unlinkability in action: the matcher learns WHICH ranks
+//    exist, and only the top-k reveal themselves.
+#include <cstdio>
+
+#include "core/framework.h"
+
+int main() {
+  using namespace ppgr;
+
+  // Five 0-10 scale survey questions, all "equal-to".
+  core::ProblemSpec spec{.m = 5, .t = 5, .d1 = 4, .d2 = 4, .h = 8};
+  const char* questions[] = {"economic policy", "civil liberties",
+                             "environment", "religion", "urban/rural"};
+
+  // The matcher's own profile and how much she cares per question.
+  const core::AttrVec my_profile{7, 9, 8, 2, 6};
+  const core::AttrVec my_weights{5, 8, 6, 2, 3};
+
+  const auto group = group::make_group(group::GroupId::kEcP192);
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = 8;
+  cfg.k = 2;  // reveal only the two best matches
+  cfg.group = group.get();
+  cfg.dot_field = &core::default_dot_field();
+
+  // The candidate pool (each vector is private to its owner).
+  const std::vector<core::AttrVec> candidates{
+      {6, 9, 7, 3, 6},   // very close
+      {1, 2, 3, 9, 1},   // opposite
+      {7, 8, 8, 2, 5},   // very close
+      {5, 5, 5, 5, 5},   // neutral
+      {8, 9, 9, 1, 7},   // close
+      {2, 3, 10, 8, 2},  //
+      {7, 9, 8, 2, 6},   // identical profile
+      {0, 0, 0, 10, 0},  //
+  };
+
+  mpz::ChaChaRng rng = mpz::ChaChaRng::from_os();
+  const auto result =
+      core::run_framework(cfg, my_profile, my_weights, candidates, rng);
+
+  std::printf("Interest matching over %zu sensitive questions (", spec.m);
+  for (std::size_t q = 0; q < spec.m; ++q)
+    std::printf("%s%s", questions[q], q + 1 < spec.m ? ", " : ")\n\n");
+
+  std::printf("Best matches who chose to reveal themselves (top-%zu):\n",
+              cfg.k);
+  for (const auto id : result.submitted_ids) {
+    std::printf("  candidate %zu (rank %zu, weighted distance %s)\n", id,
+                result.ranks[id - 1],
+                core::gain(spec, my_profile, my_weights, candidates[id - 1])
+                    .negated()
+                    .to_dec()
+                    .c_str());
+  }
+  std::printf("\nEveryone else only learned their own rank; the matcher "
+              "cannot tell\nwhich hidden candidate holds which remaining "
+              "rank (identity\nunlinkability, Def. 7 of the paper).\n");
+  return 0;
+}

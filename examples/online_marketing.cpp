@@ -1,0 +1,81 @@
+// The paper's Sec. I motivating scenario: a health-and-nutrition company
+// (initiator) runs an online promotion and wants the k most
+// representative participants for a free-trial program — without learning
+// anything about everyone else, and without revealing how it scores people.
+//
+// Demonstrates:
+//  - "equal-to" attributes (age, blood pressure) vs "greater-than"
+//    attributes (number of friends, annual income);
+//  - what each role observes during the protocol (the privacy ledger);
+//  - the initiator-side over-claim check of phase 3.
+#include <cstdio>
+
+#include "core/framework.h"
+#include "mpz/rng.h"
+
+int main() {
+  using namespace ppgr;
+
+  constexpr std::size_t kParticipants = 12;
+  constexpr std::size_t kWinners = 3;
+
+  // Questionnaire: [age, blood pressure, friends, income(k$)].
+  core::ProblemSpec spec{.m = 4, .t = 2, .d1 = 10, .d2 = 6, .h = 12};
+  const core::AttrVec criterion{30, 115, 0, 0};  // target demographic
+  const core::AttrVec weights{20, 8, 3, 1};      // trade secret!
+
+  // Demo parameters: a small Schnorr group keeps this example snappy on a
+  // laptop; swap in GroupId::kEcP192 / kDl2048 for production security.
+  const auto group = group::make_group(group::GroupId::kDlTest256);
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = kParticipants;
+  cfg.k = kWinners;
+  cfg.group = group.get();
+  cfg.dot_field = &core::default_dot_field();
+
+  // Synthesize a population around the target demographic.
+  mpz::ChaChaRng rng{2026};
+  std::vector<core::AttrVec> infos;
+  infos.reserve(kParticipants);
+  for (std::size_t j = 0; j < kParticipants; ++j) {
+    infos.push_back({18 + rng.below_u64(50),    // age
+                     95 + rng.below_u64(70),    // blood pressure
+                     rng.below_u64(300),        // friends
+                     20 + rng.below_u64(200)}); // income
+  }
+
+  std::printf("Online marketing promotion: %zu applicants, %zu trial "
+              "slots\n\n", kParticipants, kWinners);
+  const auto result = core::run_framework(cfg, criterion, weights, infos, rng);
+
+  std::printf("The company receives submissions from:");
+  for (const auto id : result.submitted_ids) std::printf(" P%zu", id);
+  std::printf("\n\nWinning profiles (the only vectors the company sees):\n");
+  for (const auto id : result.submitted_ids) {
+    const auto& v = infos[id - 1];
+    std::printf("  P%-3zu rank %zu: age %llu, bp %llu, %llu friends, "
+                "$%lluk income\n",
+                id, result.ranks[id - 1],
+                static_cast<unsigned long long>(v[0]),
+                static_cast<unsigned long long>(v[1]),
+                static_cast<unsigned long long>(v[2]),
+                static_cast<unsigned long long>(v[3]));
+  }
+
+  std::printf("\nPrivacy ledger (who learned what):\n");
+  std::printf("  company   : top-%zu vectors + their ranks; NOT the other "
+              "%zu vectors,\n              gains or identities-to-rank "
+              "links\n", kWinners, kParticipants - kWinners);
+  std::printf("  winner    : her own rank; NOT the scoring weights or "
+              "criterion\n");
+  std::printf("  others    : their own rank only; their data never left "
+              "their machine\n              in the clear\n");
+  std::printf("  colluders : up to n-2 colluding participants cannot link a "
+              "hidden\n              participant's data to her identity "
+              "(Lemma 4)\n");
+  std::printf("\nCost: %zu rounds, %.1f MB of protocol traffic\n",
+              result.trace.rounds(),
+              static_cast<double>(result.trace.total_bytes()) / 1e6);
+  return 0;
+}

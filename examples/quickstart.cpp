@@ -1,0 +1,63 @@
+// Quickstart: run the whole privacy preserving group ranking framework
+// in-process with 6 participants and an initiator.
+//
+//   $ ./build/examples/quickstart
+//
+// The initiator publishes a 4-attribute questionnaire (2 "equal-to"
+// attributes, 2 "greater-than") and wants the top k=2 participants. Every
+// participant learns exactly her own rank; the initiator learns only the
+// top-2 vectors.
+#include <cstdio>
+
+#include "core/framework.h"
+
+int main() {
+  using namespace ppgr;
+
+  // 1. Problem: m=4 attributes, the first t=2 are "equal-to".
+  core::ProblemSpec spec{.m = 4, .t = 2, .d1 = 8, .d2 = 4, .h = 8};
+
+  // 2. Pick the DDH group (P-192 elliptic curve — the fast configuration)
+  //    and the phase-1 field, then assemble the framework configuration.
+  const auto group = group::make_group(group::GroupId::kEcP192);
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = 6;  // participants
+  cfg.k = 2;  // how many winners the initiator invites
+  cfg.group = group.get();
+  cfg.dot_field = &core::default_dot_field();
+
+  // 3. Inputs. Initiator: criterion vector v0 (ideal values for the
+  //    equal-to attributes; zeros elsewhere) and weights w.
+  const core::AttrVec v0{35, 120, 0, 0};  // ideal age 35, blood pressure 120
+  const core::AttrVec w{10, 5, 2, 1};
+  //    Participants: information vectors
+  //    [age, blood pressure, friends, income(k$)].
+  const std::vector<core::AttrVec> infos{
+      {34, 118, 90, 55},  // close to ideal, well connected
+      {52, 160, 20, 90},  // far from ideal
+      {35, 121, 40, 40},  // nearly ideal
+      {29, 130, 70, 35},  //
+      {41, 125, 15, 70},  //
+      {36, 119, 55, 60},  // close to ideal
+  };
+
+  // 4. Run all three phases (HBC, in-process).
+  mpz::ChaChaRng rng = mpz::ChaChaRng::from_os();
+  const auto result = core::run_framework(cfg, v0, w, infos, rng);
+
+  // 5. What each party gets to see.
+  std::printf("Participant ranks (each participant learns ONLY her own):\n");
+  for (std::size_t j = 0; j < cfg.n; ++j) {
+    const auto g = core::gain(spec, v0, w, infos[j]);
+    std::printf("  P%zu: rank %zu   (true gain %s — never revealed)\n", j + 1,
+                result.ranks[j], g.to_dec().c_str());
+  }
+  std::printf("\nInitiator receives the top-%zu submissions:", cfg.k);
+  for (const auto id : result.submitted_ids) std::printf(" P%zu", id);
+  std::printf("\n\nProtocol cost: %zu communication rounds, %zu messages, "
+              "%.1f KB total\n",
+              result.trace.rounds(), result.trace.message_count(),
+              static_cast<double>(result.trace.total_bytes()) / 1e3);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Recruiting on a business OSN (Sec. I): an employer ranks candidates for a
+// position with a sensitive health requirement. This example runs BOTH
+// phase-2 engines on the same inputs and contrasts them:
+//
+//   - the paper's identity-unlinkable framework (this library's core), and
+//   - the SS baseline (Jónsson-style secret-sharing sort), which is what
+//     one would build from prior work — it computes the same ranking but
+//     publishes the entire rank permutation to every party.
+//
+// The printed ledger shows the privacy and cost difference.
+#include <cstdio>
+
+#include "core/framework.h"
+#include "core/ss_framework.h"
+
+int main() {
+  using namespace ppgr;
+
+  // [stamina score, years experience, certifications, availability hrs/wk]
+  // with the health attribute "equal-to" a target and the rest
+  // "greater-than".
+  core::ProblemSpec spec{.m = 4, .t = 1, .d1 = 7, .d2 = 4, .h = 8};
+  const core::AttrVec target{70, 0, 0, 0};
+  const core::AttrVec weights{9, 4, 2, 1};
+
+  const auto group = group::make_group(group::GroupId::kDlTest256);
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = 7;
+  cfg.k = 2;
+  cfg.group = group.get();
+  cfg.dot_field = &core::default_dot_field();
+
+  const std::vector<core::AttrVec> candidates{
+      {68, 12, 3, 40}, {90, 3, 1, 60}, {71, 8, 5, 35}, {50, 20, 6, 20},
+      {69, 6, 2, 45},  {75, 15, 4, 50}, {66, 1, 0, 80},
+  };
+
+  mpz::ChaChaRng rng{7777};
+
+  // --- the paper's framework ---
+  const auto ours = core::run_framework(cfg, target, weights, candidates, rng);
+
+  // --- the SS baseline on identical inputs ---
+  core::SsFrameworkConfig ss_cfg;
+  ss_cfg.base = cfg;
+  ss_cfg.threshold = 3;  // max colluders the SS substrate tolerates (< n/2)
+  const auto ss = core::run_ss_framework(ss_cfg, target, weights, candidates, rng);
+
+  std::printf("Recruiting: %zu candidates, %zu interview slots\n\n", cfg.n,
+              cfg.k);
+  std::printf("Both engines select:");
+  for (const auto id : ours.submitted_ids) std::printf(" C%zu", id);
+  std::printf(" (identical ranking, as they must)\n\n");
+
+  std::printf("%-34s %-22s %s\n", "", "this framework", "SS baseline");
+  std::printf("%-34s %-22s %s\n", "who sees the full rank permutation",
+              "nobody", "every candidate");
+  std::printf("%-34s %-22s %s\n", "colluders tolerated", "n-2 = 5",
+              "floor((n-1)/2) = 3");
+  char rounds_ours[32], rounds_ss[32];
+  std::snprintf(rounds_ours, sizeof(rounds_ours), "%zu",
+                ours.trace.rounds());
+  std::snprintf(rounds_ss, sizeof(rounds_ss), "%llu",
+                static_cast<unsigned long long>(ss.parallel_rounds));
+  std::printf("%-34s %-22s %s\n", "communication rounds", rounds_ours,
+              rounds_ss);
+  char bytes_ours[32], bytes_ss[32];
+  std::snprintf(bytes_ours, sizeof(bytes_ours), "%.1f KB",
+                static_cast<double>(ours.trace.total_bytes()) / 1e3);
+  std::snprintf(bytes_ss, sizeof(bytes_ss), "%.1f KB",
+                static_cast<double>(ss.trace.total_bytes()) / 1e3);
+  std::printf("%-34s %-22s %s\n", "protocol traffic", bytes_ours, bytes_ss);
+  std::printf("%-34s %-22s %llu\n", "secure multiplications", "0",
+              static_cast<unsigned long long>(ss.sort_costs.mults));
+
+  std::printf("\nRank check (SS reveals this table to everyone; ours only "
+              "row-by-row\nto each owner):\n");
+  for (std::size_t j = 0; j < cfg.n; ++j) {
+    std::printf("  C%zu: rank %zu%s\n", j + 1, ours.ranks[j],
+                ours.ranks[j] == ss.ranks[j] ? "" : "  (!! mismatch)");
+  }
+  return 0;
+}

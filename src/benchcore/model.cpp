@@ -1,0 +1,197 @@
+#include "benchcore/model.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace ppgr::benchcore {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProblemSpec paper_default_spec() {
+  return ProblemSpec{.m = 10, .t = 5, .d1 = 15, .d2 = 15, .h = 15};
+}
+
+Instance random_instance(const ProblemSpec& spec, std::size_t n,
+                         std::uint64_t seed) {
+  mpz::ChaChaRng rng{seed};
+  auto attrs = [&](std::size_t bits) {
+    AttrVec v(spec.m);
+    for (auto& x : v) x = rng.below_u64(std::uint64_t{1} << bits);
+    return v;
+  };
+  Instance inst;
+  inst.v0 = attrs(spec.d1);
+  inst.w = attrs(spec.d2);
+  inst.infos.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) inst.infos.push_back(attrs(spec.d1));
+  return inst;
+}
+
+HeCounts count_he_framework(const ProblemSpec& spec, std::size_t n,
+                            std::size_t k, std::size_t modeled_elem_bytes,
+                            std::size_t modeled_field_bits,
+                            std::uint64_t seed) {
+  // Counted protocol run over a mock group dressed with the modeled
+  // element/scalar sizes.
+  const group::MockGroup mock{"mock", modeled_elem_bytes, modeled_field_bits};
+  const group::CountingGroup counted{mock};
+
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = n;
+  cfg.k = k;
+  cfg.group = &counted;
+  cfg.dot_field = &core::default_dot_field();
+
+  const Instance inst = random_instance(spec, n, seed);
+  mpz::ChaChaRng rng{seed + 1};
+  auto result = core::run_framework(cfg, inst.v0, inst.w, inst.infos, rng);
+
+  HeCounts counts;
+  // The initiator performs no group operations, so the per-participant
+  // share of the counted totals is exactly totals / n.
+  const auto& totals = counted.counts();
+  counts.per_participant.muls = totals.muls / n;
+  counts.per_participant.exps = totals.exps / n;
+  counts.per_participant.gexps = totals.gexps / n;
+  counts.per_participant.invs = totals.invs / n;
+  counts.per_participant.serializations = totals.serializations / n;
+  counts.per_participant.deserializations = totals.deserializations / n;
+  // Phase 1 runs on the real field either way (the mock only replaces the
+  // DDH group); measure one real dot-product exchange.
+  {
+    const double t1 = now_s();
+    core::Initiator initiator{cfg, inst.v0, inst.w, rng};
+    core::Participant p{cfg, 1, inst.infos[0], rng};
+    const auto& q = p.gain_query();
+    p.receive_gain_answer(initiator.answer_gain_query(1, q));
+    counts.phase1_seconds = now_s() - t1;
+  }
+  counts.rounds = result.trace.rounds();
+  counts.total_bytes = result.trace.total_bytes();
+  counts.trace = std::move(result.trace);
+  return counts;
+}
+
+HePoint price_he_counts(const HeCounts& counts, const std::string& name,
+                        const GroupCosts& real_costs, bool with_trace) {
+  HePoint point;
+  point.framework = name;
+  point.per_participant = counts.per_participant;
+  point.participant_seconds =
+      price_group_ops(counts.per_participant, real_costs);
+  point.phase1_seconds = counts.phase1_seconds;
+  point.rounds = counts.rounds;
+  point.total_bytes = counts.total_bytes;
+  if (with_trace) point.trace = counts.trace;
+  return point;
+}
+
+HePoint price_he_framework(const ProblemSpec& spec, std::size_t n,
+                           std::size_t k, const group::Group& real,
+                           const GroupCosts& real_costs, std::uint64_t seed) {
+  const HeCounts counts = count_he_framework(
+      spec, n, k, real.element_bytes(), real.field_bits(), seed);
+  HePoint point = price_he_counts(counts, real.name(), real_costs,
+                                  /*with_trace=*/true);
+  return point;
+}
+
+SsPoint price_ss_framework(const ProblemSpec& spec, std::size_t n,
+                           std::size_t k, std::uint64_t seed) {
+  const std::size_t l = spec.beta_bits();
+  const mpz::FpCtx& field = core::ss_field_for_beta_bits(l);
+  const std::size_t t = (n - 1) / 2;  // max tolerable colluders, n >= 2t+1
+
+  // Counted run.
+  core::SsFrameworkConfig cfg;
+  cfg.base.spec = spec;
+  cfg.base.n = n;
+  cfg.base.k = k;
+  // The SS framework needs no DDH group, but FrameworkConfig validation
+  // does; use a mock.
+  static const group::MockGroup dummy{"ss-dummy", 32, 61};
+  cfg.base.group = &dummy;
+  cfg.base.dot_field = &core::default_dot_field();
+  cfg.threshold = std::max<std::size_t>(1, t);
+  cfg.mode = sss::MpcEngine::Mode::kCountOnly;
+
+  const Instance inst = random_instance(spec, n, seed);
+  mpz::ChaChaRng rng{seed + 2};
+  auto result = core::run_ss_framework(cfg, inst.v0, inst.w, inst.infos, rng);
+
+  // Calibrate the substrate at this exact (n, t, field).
+  mpz::ChaChaRng crng{seed + 3};
+  const SsCosts costs = calibrate_ss(field, n, cfg.threshold, crng);
+
+  SsPoint point;
+  point.totals = result.sort_costs;
+  point.parallel_rounds = result.parallel_rounds;
+  point.participant_seconds = price_ss_ops(result.sort_costs, costs, n);
+  {
+    const double t1 = now_s();
+    core::Initiator initiator{cfg.base, inst.v0, inst.w, rng};
+    core::Participant p{cfg.base, 1, inst.infos[0], rng};
+    const auto& q = p.gain_query();
+    p.receive_gain_answer(initiator.answer_gain_query(1, q));
+    point.phase1_seconds = now_s() - t1;
+  }
+  point.trace = std::move(result.trace);
+  return point;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) {
+  widths_.reserve(headers.size());
+  std::string line;
+  for (const auto& head : headers) {
+    widths_.push_back(std::max<std::size_t>(head.size() + 2, 14));
+    line += head;
+    line.append(widths_.back() - head.size(), ' ');
+  }
+  std::cout << line << "\n" << std::string(line.size(), '-') << "\n";
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    line += cells[i];
+    const std::size_t width = i < widths_.size() ? widths_[i] : 14;
+    if (cells[i].size() < width) line.append(width - cells[i].size(), ' ');
+  }
+  std::cout << line << "\n";
+}
+
+std::string TablePrinter::fmt_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+std::string TablePrinter::fmt_count(std::uint64_t c) {
+  char buf[32];
+  if (c >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(c) / 1e6);
+  } else if (c >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(c) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(c));
+  }
+  return buf;
+}
+
+}  // namespace ppgr::benchcore

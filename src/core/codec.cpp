@@ -1,0 +1,77 @@
+#include "core/codec.h"
+
+namespace ppgr::core {
+
+namespace {
+std::size_t field_bytes(const FpCtx& f) { return (f.bits() + 7) / 8; }
+}  // namespace
+
+void write_field_elem(Writer& w, const FpCtx& f, const Nat& elem) {
+  w.raw(f.from(elem).to_bytes_be(field_bytes(f)));
+}
+
+Nat read_field_elem(Reader& r, const FpCtx& f) {
+  const Nat v = Nat::from_bytes_be(r.raw(field_bytes(f)));
+  if (v >= f.p()) throw runtime::WireError("field element out of range");
+  return f.to(v);
+}
+
+void write_bob_round1(Writer& w, const FpCtx& f, const dotprod::BobRound1& m) {
+  w.varint(m.qx.size());
+  w.varint(m.qx.empty() ? 0 : m.qx[0].size());
+  for (const auto& row : m.qx)
+    for (const auto& x : row) write_field_elem(w, f, x);
+  for (const auto& x : m.cprime) write_field_elem(w, f, x);
+  for (const auto& x : m.gvec) write_field_elem(w, f, x);
+}
+
+dotprod::BobRound1 read_bob_round1(Reader& r, const FpCtx& f) {
+  const std::uint64_t s = r.varint();
+  const std::uint64_t d = r.varint();
+  const std::size_t fe = field_bytes(f);
+  if (d == 0 || s == 0 || (s + 2) * d * fe > r.remaining() + fe)
+    throw runtime::WireError("bob_round1: bad dimensions");
+  dotprod::BobRound1 m;
+  m.qx.assign(s, dotprod::FVec(d));
+  for (auto& row : m.qx)
+    for (auto& x : row) x = read_field_elem(r, f);
+  m.cprime.resize(d);
+  for (auto& x : m.cprime) x = read_field_elem(r, f);
+  m.gvec.resize(d);
+  for (auto& x : m.gvec) x = read_field_elem(r, f);
+  return m;
+}
+
+void write_alice_round2(Writer& w, const FpCtx& f,
+                        const dotprod::AliceRound2& m) {
+  write_field_elem(w, f, m.a);
+  write_field_elem(w, f, m.h);
+}
+
+dotprod::AliceRound2 read_alice_round2(Reader& r, const FpCtx& f) {
+  dotprod::AliceRound2 m;
+  m.a = read_field_elem(r, f);
+  m.h = read_field_elem(r, f);
+  return m;
+}
+
+void write_submission(Writer& w, const Initiator::Submission& s) {
+  w.varint(s.participant);
+  w.varint(s.claimed_rank);
+  w.varint(s.info.size());
+  for (const auto v : s.info) w.varint(v);
+}
+
+Initiator::Submission read_submission(Reader& r, const ProblemSpec& spec) {
+  Initiator::Submission s;
+  s.participant = static_cast<std::size_t>(r.varint());
+  s.claimed_rank = static_cast<std::size_t>(r.varint());
+  const std::uint64_t m = r.varint();
+  if (m != spec.m) throw runtime::WireError("submission: wrong dimension");
+  s.info.reserve(spec.m);
+  for (std::uint64_t i = 0; i < m; ++i) s.info.push_back(r.varint());
+  spec.check_attributes(s.info);  // enforces the d1 bound
+  return s;
+}
+
+}  // namespace ppgr::core

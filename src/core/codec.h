@@ -1,0 +1,31 @@
+// Wire codecs for the framework's phase-1 and phase-3 message types.
+#pragma once
+
+#include "core/framework.h"
+#include "crypto/codec.h"
+#include "dotprod/dot_product.h"
+#include "runtime/wire.h"
+
+namespace ppgr::core {
+
+using runtime::Reader;
+using runtime::Writer;
+
+/// Field elements travel as their standard representative in [0, p), fixed
+/// width of the field.
+void write_field_elem(Writer& w, const FpCtx& f, const Nat& elem);
+[[nodiscard]] Nat read_field_elem(Reader& r, const FpCtx& f);
+
+void write_bob_round1(Writer& w, const FpCtx& f, const dotprod::BobRound1& m);
+[[nodiscard]] dotprod::BobRound1 read_bob_round1(Reader& r, const FpCtx& f);
+
+void write_alice_round2(Writer& w, const FpCtx& f,
+                        const dotprod::AliceRound2& m);
+[[nodiscard]] dotprod::AliceRound2 read_alice_round2(Reader& r,
+                                                     const FpCtx& f);
+
+void write_submission(Writer& w, const Initiator::Submission& s);
+[[nodiscard]] Initiator::Submission read_submission(Reader& r,
+                                                    const ProblemSpec& spec);
+
+}  // namespace ppgr::core

@@ -1,0 +1,404 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppgr::core {
+
+namespace {
+
+using crypto::ct_add;
+using crypto::ct_add_plain;
+using crypto::ct_scale;
+using crypto::encrypt_exp;
+using crypto::rerandomize;
+
+std::size_t scalar_bytes(const Group& g) {
+  return (g.order().bit_length() + 7) / 8;
+}
+
+std::size_t info_bytes(const ProblemSpec& spec) {
+  return spec.m * ((spec.d1 + 7) / 8) + 8;  // attributes + rank field
+}
+
+}  // namespace
+
+void FrameworkConfig::validate() const {
+  spec.validate();
+  if (n < 2) throw std::invalid_argument("FrameworkConfig: need n >= 2");
+  if (k < 1 || k > n) throw std::invalid_argument("FrameworkConfig: bad k");
+  if (group == nullptr || dot_field == nullptr)
+    throw std::invalid_argument("FrameworkConfig: group/dot_field not set");
+  if (dot_s < 2) throw std::invalid_argument("FrameworkConfig: dot_s >= 2");
+  // The dot-product field must exactly represent every β (plus slack for
+  // the signed centering).
+  if (spec.beta_bits() + 2 > dot_field->bits())
+    throw std::invalid_argument(
+        "FrameworkConfig: dot-product field too small for beta range");
+}
+
+// ---------------- Initiator ----------------
+
+Initiator::Initiator(const FrameworkConfig& cfg, AttrVec v0, AttrVec w,
+                     Rng& rng)
+    : cfg_(cfg), v0_(std::move(v0)), w_(std::move(w)), rng_(rng) {
+  cfg_.validate();
+  cfg_.spec.check_attributes(v0_);
+  cfg_.spec.check_weights(w_);
+  // ρ: h-bit, top bit forced so ρ_j < ρ leaves a full range; ρ >= 1.
+  rho_ = rng_.bits(cfg_.spec.h);
+  rho_.set_bit(cfg_.spec.h - 1, true);
+  rho_j_.resize(cfg_.n);
+  for (auto& rj : rho_j_) rj = rng_.below(rho_);  // [0, ρ) — strict order
+}
+
+dotprod::AliceRound2 Initiator::answer_gain_query(
+    std::size_t j, const dotprod::BobRound1& msg) {
+  if (j < 1 || j > cfg_.n)
+    throw std::invalid_argument("answer_gain_query: bad participant id");
+  const auto v_prime = initiator_vector(*cfg_.dot_field, cfg_.spec, v0_, w_,
+                                        rho_, rho_j_[j - 1]);
+  return dotprod::dot_product_alice(*cfg_.dot_field, msg, v_prime);
+}
+
+void Initiator::receive_submission(Submission s) {
+  cfg_.spec.check_attributes(s.info);
+  submissions_.push_back(std::move(s));
+}
+
+std::vector<std::size_t> Initiator::inconsistent_submissions() const {
+  // Recompute gains from the submitted vectors; a submission is flagged when
+  // its claimed rank ordering contradicts the recomputed gain ordering
+  // against any other submission.
+  std::vector<std::size_t> bad;
+  for (const auto& a : submissions_) {
+    const Int ga = gain(cfg_.spec, v0_, w_, a.info);
+    bool flagged = false;
+    for (const auto& b : submissions_) {
+      if (a.participant == b.participant) continue;
+      const Int gb = gain(cfg_.spec, v0_, w_, b.info);
+      if ((a.claimed_rank < b.claimed_rank && ga < gb) ||
+          (a.claimed_rank > b.claimed_rank && ga > gb)) {
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) bad.push_back(a.participant);
+  }
+  return bad;
+}
+
+// ---------------- Participant ----------------
+
+Participant::Participant(const FrameworkConfig& cfg, std::size_t id,
+                         AttrVec info, Rng& rng)
+    : cfg_(cfg), id_(id), info_(std::move(info)), rng_(rng) {
+  cfg_.validate();
+  cfg_.spec.check_attributes(info_);
+  if (id_ < 1 || id_ > cfg_.n)
+    throw std::invalid_argument("Participant: id must be in [1, n]");
+}
+
+const dotprod::BobRound1& Participant::gain_query() {
+  auto w_prime = participant_vector(*cfg_.dot_field, cfg_.spec, info_);
+  // Scale the disguise dimension with the vector so the initiator's linear
+  // system stays under-determined (dotprod::recommended_s).
+  const std::size_t s =
+      std::max(cfg_.dot_s, dotprod::recommended_s(w_prime.size()));
+  dot_.emplace(*cfg_.dot_field, std::move(w_prime), s, rng_);
+  return dot_->round1();
+}
+
+void Participant::receive_gain_answer(const dotprod::AliceRound2& answer) {
+  if (!dot_) throw std::logic_error("receive_gain_answer before gain_query");
+  const Nat beta_field = dot_->finish(answer);
+  dot_.reset();
+  const Int beta_signed = cfg_.dot_field->from_centered(beta_field);
+  beta_ = signed_to_unsigned(beta_signed, cfg_.spec.beta_bits());
+}
+
+const Elem& Participant::public_key() {
+  if (!key_generated_) {
+    key_ = crypto::keygen(*cfg_.group, rng_);
+    key_generated_ = true;
+  }
+  return key_.y;
+}
+
+crypto::SchnorrTranscript Participant::prove_key(std::size_t n_verifiers) {
+  (void)public_key();
+  return crypto::schnorr_prove(*cfg_.group, key_.x, n_verifiers, rng_);
+}
+
+bool Participant::verify_peer_key(const Elem& y,
+                                  const crypto::SchnorrTranscript& proof) const {
+  return crypto::schnorr_verify(*cfg_.group, y, proof);
+}
+
+std::vector<Ciphertext> Participant::encrypt_beta_bits() {
+  const std::size_t l = cfg_.spec.beta_bits();
+  std::vector<Ciphertext> out;
+  out.reserve(l);
+  for (std::size_t b = 0; b < l; ++b) {
+    out.push_back(encrypt_exp(*cfg_.group, joint_key_,
+                              beta_.bit(b) ? Nat{1} : Nat{}, rng_));
+  }
+  return out;
+}
+
+std::vector<Ciphertext> Participant::compare_against(
+    const std::vector<Ciphertext>& peer_bits) const {
+  const Group& g = *cfg_.group;
+  const std::size_t l = cfg_.spec.beta_bits();
+  if (peer_bits.size() != l)
+    throw std::invalid_argument("compare_against: wrong bit count");
+  const Nat& q = g.order();
+
+  // γ_b = own_b XOR peer_b, homomorphically (own bit is plaintext):
+  //   own_b = 0:  γ = peer_b            -> copy
+  //   own_b = 1:  γ = 1 - peer_b        -> E(peer)^(q-1) ∘ g^1
+  std::vector<Ciphertext> gamma;
+  gamma.reserve(l);
+  for (std::size_t b = 0; b < l; ++b) {
+    if (!beta_.bit(b)) {
+      gamma.push_back(peer_bits[b]);
+    } else {
+      gamma.push_back(ct_add_plain(
+          g, ct_scale(g, peer_bits[b], Nat::sub(q, Nat{1})), Nat{1}));
+    }
+  }
+
+  // Suffix sums S_b = Σ_{v>b} γ_v, accumulated from the MSB down. The
+  // trivial ciphertext (1, 1) is a valid encryption of zero.
+  const Ciphertext zero_ct{.c = g.identity(), .cp = g.identity()};
+  std::vector<Ciphertext> tau(l);
+  Ciphertext suffix = zero_ct;
+  for (std::size_t b = l; b-- > 0;) {
+    // ω_b = (l-b)·(1 - γ_b) + S_b  (paper's (l-t+1) with t = b+1);
+    // zero iff b is the most significant differing bit.
+    const Nat coeff{static_cast<mpz::Limb>(l - b)};
+    Ciphertext omega = ct_scale(g, gamma[b], Nat::sub(q, coeff % q));
+    omega = ct_add_plain(g, omega, coeff);
+    omega = ct_add(g, omega, suffix);
+    // τ_b = ω_b + own_b: zero iff peer's bit is 1 at the first difference,
+    // i.e. iff peer's β is larger.
+    tau[b] = beta_.bit(b) ? ct_add_plain(g, omega, Nat{1}) : omega;
+    // Fresh randomness before the set leaves this party: the homomorphic
+    // result is otherwise a deterministic function of the published
+    // ciphertexts and the own bits, which an adversary could test bit by
+    // bit (the paper's Lemma-3 simulator implicitly assumes fresh
+    // encryptions here; see DESIGN.md).
+    tau[b] = rerandomize(g, joint_key_, tau[b], rng_);
+    suffix = ct_add(g, suffix, gamma[b]);
+  }
+  return tau;
+}
+
+void Participant::shuffle_hop(CipherSet& set) {
+  const Group& g = *cfg_.group;
+  for (Ciphertext& ct : set) {
+    ct = crypto::partial_decrypt(g, key_.x, ct);
+    ct = crypto::exp_randomize(g, ct, g.random_nonzero_scalar(rng_));
+  }
+  // Fisher–Yates with the party's private randomness.
+  for (std::size_t i = set.size(); i-- > 1;)
+    std::swap(set[i], set[rng_.below_u64(i + 1)]);
+}
+
+std::size_t Participant::compute_rank(const CipherSet& own_set) const {
+  std::size_t zeros = 0;
+  for (const Ciphertext& ct : own_set) {
+    if (crypto::decrypts_to_zero(*cfg_.group, key_.x, ct)) ++zeros;
+  }
+  return zeros + 1;
+}
+
+std::optional<Initiator::Submission> Participant::submission(
+    std::size_t rank) const {
+  if (rank > cfg_.k) return std::nullopt;
+  return Initiator::Submission{.participant = id_, .claimed_rank = rank,
+                               .info = info_};
+}
+
+// ---------------- orchestration ----------------
+
+FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
+                              const AttrVec& w,
+                              const std::vector<AttrVec>& infos, Rng& rng) {
+  cfg.validate();
+  if (infos.size() != cfg.n)
+    throw std::invalid_argument("run_framework: infos size != n");
+  const std::size_t n = cfg.n;
+  const std::size_t l = cfg.spec.beta_bits();
+  const Group& g = *cfg.group;
+  const std::size_t ct_bytes = crypto::ciphertext_bytes(g);
+
+  FrameworkResult result;
+  runtime::PartyTimer timer{n + 1};
+
+  Initiator initiator{cfg, v0, w, rng};
+  std::vector<Participant> parts;
+  parts.reserve(n);
+  for (std::size_t j = 1; j <= n; ++j)
+    parts.emplace_back(cfg, j, infos[j - 1], rng);
+
+  auto& trace = result.trace;
+  const std::size_t d = cfg.spec.m + cfg.spec.t + 1;
+
+  // ---- Phase 1: secure gain computation ----
+  std::vector<const dotprod::BobRound1*> queries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    queries[j] = &parts[j].gain_query();
+    const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
+    trace.record(j + 1, 0, dotprod::bob_message_bytes(*cfg.dot_field, eff_s, d));
+  }
+  trace.next_round();
+  std::vector<dotprod::AliceRound2> answers;
+  answers.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(0);
+    answers.push_back(initiator.answer_gain_query(j + 1, *queries[j]));
+    trace.record(0, j + 1, dotprod::alice_message_bytes(*cfg.dot_field));
+  }
+  trace.next_round();
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    parts[j].receive_gain_answer(answers[j]);
+  }
+
+  // ---- Phase 2: unlinkable gain comparison ----
+  // Step 5: keys + zero-knowledge proofs (commit/challenge/response rounds).
+  std::vector<Elem> pubkeys(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    pubkeys[j] = parts[j].public_key();
+    for (std::size_t peer = 1; peer <= n; ++peer)
+      if (peer != j + 1) trace.record(j + 1, peer, g.element_bytes());
+  }
+  trace.next_round();
+  const std::size_t sb = scalar_bytes(g);
+  std::vector<crypto::SchnorrTranscript> proofs(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    proofs[j] = parts[j].prove_key(n - 1);
+    // Commitment broadcast + response broadcast; challenges flow back.
+    for (std::size_t peer = 1; peer <= n; ++peer) {
+      if (peer == j + 1) continue;
+      trace.record(j + 1, peer, g.element_bytes() + sb);  // h and z
+      trace.record(peer, j + 1, sb);                      // challenge c
+    }
+  }
+  trace.next_round();
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    for (std::size_t peer = 0; peer < n; ++peer) {
+      if (peer == j) continue;
+      if (!parts[j].verify_peer_key(pubkeys[peer], proofs[peer]))
+        throw std::runtime_error("run_framework: key proof rejected");
+    }
+  }
+  const Elem joint = crypto::joint_public_key(g, pubkeys);
+  for (auto& p : parts) p.set_joint_key(joint);
+  trace.next_round();
+
+  // Step 6: bitwise encryptions, broadcast.
+  std::vector<std::vector<Ciphertext>> beta_bits(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    beta_bits[j] = parts[j].encrypt_beta_bits();
+    for (std::size_t peer = 1; peer <= n; ++peer)
+      if (peer != j + 1) trace.record(j + 1, peer, l * ct_bytes);
+  }
+  trace.next_round();
+
+  // Step 7: comparisons; flattened sets go to P1.
+  std::vector<CipherSet> v_sets(n);  // index j-1 = set owned by P_j
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    CipherSet& set = v_sets[j];
+    set.reserve((n - 1) * l);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      auto tau = parts[j].compare_against(beta_bits[i]);
+      set.insert(set.end(), tau.begin(), tau.end());
+    }
+    if (j != 0) trace.record(j + 1, 1, set.size() * ct_bytes);
+  }
+  trace.next_round();
+
+  // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn.
+  for (std::size_t hop = 0; hop < n; ++hop) {
+    {
+      auto scope = timer.time(hop + 1);
+      for (std::size_t owner = 0; owner < n; ++owner) {
+        if (owner == hop) continue;  // never touch the own set
+        parts[hop].shuffle_hop(v_sets[owner]);
+      }
+    }
+    if (hop + 1 < n) {
+      // Forward the whole vector V to the next participant.
+      std::size_t total = 0;
+      for (const auto& s : v_sets) total += s.size() * ct_bytes;
+      trace.record(hop + 1, hop + 2, total);
+      trace.next_round();
+    }
+  }
+  // P_n returns each set to its owner.
+  for (std::size_t owner = 0; owner + 1 < n; ++owner)
+    trace.record(n, owner + 1, v_sets[owner].size() * ct_bytes);
+  trace.next_round();
+
+  // Step 9 / Phase 3: ranks and submissions.
+  result.ranks.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto scope = timer.time(j + 1);
+    result.ranks[j] = parts[j].compute_rank(v_sets[j]);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto sub = parts[j].submission(result.ranks[j]);
+    if (sub) {
+      result.submitted_ids.push_back(j + 1);
+      trace.record(j + 1, 0, info_bytes(cfg.spec));
+      auto scope = timer.time(0);
+      initiator.receive_submission(*sub);
+    }
+  }
+  trace.next_round();
+  {
+    auto scope = timer.time(0);
+    const auto bad = initiator.inconsistent_submissions();
+    if (!bad.empty())
+      throw std::runtime_error("run_framework: inconsistent submission");
+  }
+
+  result.compute_seconds.resize(n + 1);
+  for (std::size_t p = 0; p <= n; ++p)
+    result.compute_seconds[p] = timer.seconds(p);
+  return result;
+}
+
+const FpCtx& default_dot_field() {
+  static const FpCtx field{Nat::from_dec(
+      "578960446186580977117854925043439539266349923328202820197287920039565648"
+      "19949")};
+  return field;
+}
+
+std::vector<std::size_t> reference_ranks(const ProblemSpec& spec,
+                                         const AttrVec& v0, const AttrVec& w,
+                                         const std::vector<AttrVec>& infos) {
+  std::vector<Int> gains;
+  gains.reserve(infos.size());
+  for (const auto& v : infos) gains.push_back(gain(spec, v0, w, v));
+  std::vector<std::size_t> ranks(infos.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    std::size_t above = 0;
+    for (std::size_t j = 0; j < infos.size(); ++j)
+      if (gains[j] > gains[i]) ++above;
+    ranks[i] = above + 1;
+  }
+  return ranks;
+}
+
+}  // namespace ppgr::core

@@ -1,0 +1,173 @@
+// The paper's privacy preserving group ranking framework (Fig. 1):
+//
+//   Phase 1 — secure gain computation. Each participant P_j runs the secure
+//   dot product with the initiator P0 on the expanded vectors of Sec. V and
+//   obtains the masked partial gain β_j = ρ·p_j + ρ_j, converted to an l-bit
+//   unsigned integer.
+//
+//   Phase 2 — unlinkable gain comparison. Distributed exponential-ElGamal
+//   keygen with multi-verifier Schnorr proofs; bitwise encryption of β_j;
+//   homomorphic evaluation of the first-difference comparison circuit
+//   against every other participant; decrypt-shuffle chain P1 → ... → Pn in
+//   which every hop partially decrypts, exponent-randomizes and permutes
+//   every other participant's ciphertext set.
+//
+//   Phase 3 — ranking submission. Each participant counts zeros in her
+//   returned set (rank = zeros + 1) and, if within top-k, submits her
+//   information vector; the initiator cross-checks submissions by
+//   recomputing gains.
+//
+// The classes below are the per-party protocol state machines; run_framework
+// drives them, records every message into a runtime::TraceRecorder and
+// accounts per-party computation time — producing both the protocol outputs
+// and the observability data the benchmarks (Figs. 2 and 3) need.
+#pragma once
+
+#include <optional>
+
+#include "core/spec.h"
+#include "crypto/elgamal.h"
+#include "crypto/schnorr_proof.h"
+#include "dotprod/dot_product.h"
+#include "group/group.h"
+#include "mpz/rng.h"
+#include "runtime/trace.h"
+
+namespace ppgr::core {
+
+using crypto::Ciphertext;
+using group::Elem;
+using group::Group;
+using mpz::Rng;
+
+/// A participant's flattened comparison set travelling the shuffle chain
+/// ((n-1)·l ciphertexts; the paper's script-E_j).
+using CipherSet = std::vector<Ciphertext>;
+
+/// Configuration shared by all parties.
+struct FrameworkConfig {
+  ProblemSpec spec;
+  std::size_t n = 0;  // participants
+  std::size_t k = 1;  // top-k
+  const Group* group = nullptr;        // DDH group for phase 2
+  const FpCtx* dot_field = nullptr;    // prime field for phase 1
+  std::size_t dot_s = 8;               // disguise dimension of the dot product
+
+  void validate() const;
+};
+
+/// P0. Holds the criterion/weight vectors, ρ and the per-participant ρ_j.
+class Initiator {
+ public:
+  Initiator(const FrameworkConfig& cfg, AttrVec v0, AttrVec w, Rng& rng);
+
+  /// Phase 1 step 3: answer participant j's dot-product message.
+  [[nodiscard]] dotprod::AliceRound2 answer_gain_query(
+      std::size_t j, const dotprod::BobRound1& msg);
+
+  /// Phase 3: a top-k submission.
+  struct Submission {
+    std::size_t participant;  // 1-based id
+    std::size_t claimed_rank;
+    AttrVec info;
+  };
+  void receive_submission(Submission s);
+  /// Detects over-claimed ranks by recomputing gains of all submissions
+  /// (the check described at the end of Sec. V): returns the ids whose
+  /// claimed rank order contradicts the recomputed gain order.
+  [[nodiscard]] std::vector<std::size_t> inconsistent_submissions() const;
+  [[nodiscard]] const std::vector<Submission>& submissions() const {
+    return submissions_;
+  }
+
+  [[nodiscard]] const Nat& rho() const { return rho_; }
+
+ private:
+  const FrameworkConfig& cfg_;
+  AttrVec v0_;
+  AttrVec w_;
+  Rng& rng_;
+  Nat rho_;                  // h-bit, shared across participants
+  std::vector<Nat> rho_j_;   // per-participant masks, < rho
+  std::vector<Submission> submissions_;
+};
+
+/// P_j (1-based id). Drives its side of all three phases.
+class Participant {
+ public:
+  Participant(const FrameworkConfig& cfg, std::size_t id, AttrVec info,
+              Rng& rng);
+
+  // --- phase 1 ---
+  [[nodiscard]] const dotprod::BobRound1& gain_query();
+  void receive_gain_answer(const dotprod::AliceRound2& answer);
+  /// Unsigned l-bit masked gain (available after phase 1).
+  [[nodiscard]] const Nat& beta() const { return beta_; }
+
+  // --- phase 2 ---
+  /// Step 5: publish the ElGamal public key share.
+  [[nodiscard]] const Elem& public_key();
+  [[nodiscard]] crypto::SchnorrTranscript prove_key(std::size_t n_verifiers);
+  [[nodiscard]] bool verify_peer_key(const Elem& y,
+                                     const crypto::SchnorrTranscript& proof) const;
+  /// Called once all shares are collected.
+  void set_joint_key(const Elem& y) { joint_key_ = y; }
+  /// Step 6: bitwise encryption of β under the joint key (l ciphertexts,
+  /// LSB first).
+  [[nodiscard]] std::vector<Ciphertext> encrypt_beta_bits();
+  /// Step 7: homomorphic comparison of own (plaintext) bits against another
+  /// participant's encrypted bits; returns E(τ^1..τ^l). A zero among the τ
+  /// plaintexts means the peer's β is larger.
+  [[nodiscard]] std::vector<Ciphertext> compare_against(
+      const std::vector<Ciphertext>& peer_bits) const;
+  /// Step 8: one chain hop over a peer's set — partial decryption with this
+  /// party's key share, per-ciphertext exponent randomization, and a uniform
+  /// permutation of the set.
+  void shuffle_hop(CipherSet& set);
+  /// Step 9: final decryption of the own returned set; rank = zeros + 1.
+  [[nodiscard]] std::size_t compute_rank(const CipherSet& own_set) const;
+
+  // --- phase 3 ---
+  [[nodiscard]] std::optional<Initiator::Submission> submission(
+      std::size_t rank) const;
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] const AttrVec& info() const { return info_; }
+
+ private:
+  const FrameworkConfig& cfg_;
+  std::size_t id_;
+  AttrVec info_;
+  Rng& rng_;
+  std::optional<dotprod::DotProductBob> dot_;
+  Nat beta_;  // unsigned l-bit
+  crypto::KeyPair key_;
+  bool key_generated_ = false;
+  Elem joint_key_;
+};
+
+/// Outputs plus observability data.
+struct FrameworkResult {
+  std::vector<std::size_t> ranks;          // per participant, 1-based
+  std::vector<std::size_t> submitted_ids;  // participants with rank <= k
+  runtime::TraceRecorder trace;
+  std::vector<double> compute_seconds;     // index 0 = initiator
+};
+
+/// Runs the whole framework honestly (HBC) with in-process parties.
+[[nodiscard]] FrameworkResult run_framework(const FrameworkConfig& cfg,
+                                            const AttrVec& v0, const AttrVec& w,
+                                            const std::vector<AttrVec>& infos,
+                                            Rng& rng);
+
+/// Plain (insecure) reference ranking for tests and examples: ranks by gain,
+/// non-increasing; tied gains share a rank.
+[[nodiscard]] std::vector<std::size_t> reference_ranks(
+    const ProblemSpec& spec, const AttrVec& v0, const AttrVec& w,
+    const std::vector<AttrVec>& infos);
+
+/// Default phase-1 field: 2^255 - 19, large enough for every spec this
+/// library accepts (beta_bits() <= ~210 at the extreme sweep settings).
+[[nodiscard]] const FpCtx& default_dot_field();
+
+}  // namespace ppgr::core

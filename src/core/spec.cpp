@@ -1,0 +1,158 @@
+#include "core/spec.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ppgr::core {
+
+namespace {
+
+Int u64_int(std::uint64_t v) { return Int{mpz::Nat{v}, false}; }
+
+std::size_t ceil_log2(std::size_t m) {
+  return std::bit_width(m - 1);  // m >= 1
+}
+
+}  // namespace
+
+void ProblemSpec::validate() const {
+  if (m == 0) throw std::invalid_argument("ProblemSpec: m must be >= 1");
+  if (t > m) throw std::invalid_argument("ProblemSpec: t must be <= m");
+  if (d1 == 0 || d1 > 63 || d2 == 0 || d2 > 63)
+    throw std::invalid_argument("ProblemSpec: d1/d2 must be in [1, 63]");
+  if (h == 0 || h > 63)
+    throw std::invalid_argument("ProblemSpec: h must be in [1, 63]");
+}
+
+void ProblemSpec::check_attributes(const AttrVec& v) const {
+  if (v.size() != m)
+    throw std::invalid_argument("attribute vector has wrong dimension");
+  for (const auto x : v) {
+    if (d1 < 64 && x >= (std::uint64_t{1} << d1))
+      throw std::invalid_argument("attribute value exceeds d1 bits");
+  }
+}
+
+void ProblemSpec::check_weights(const AttrVec& w) const {
+  if (w.size() != m)
+    throw std::invalid_argument("weight vector has wrong dimension");
+  for (const auto x : w) {
+    if (d2 < 64 && x >= (std::uint64_t{1} << d2))
+      throw std::invalid_argument("weight value exceeds d2 bits");
+  }
+}
+
+std::size_t ProblemSpec::beta_bits() const {
+  return h + ceil_log2(m) + 2 * d1 + d2 + 3;
+}
+
+Int gain(const ProblemSpec& spec, const AttrVec& v0, const AttrVec& w,
+         const AttrVec& v) {
+  spec.check_attributes(v0);
+  spec.check_attributes(v);
+  spec.check_weights(w);
+  Int g;
+  for (std::size_t k = 0; k < spec.m; ++k) {
+    const Int diff = u64_int(v[k]) - u64_int(v0[k]);
+    if (k < spec.t) {
+      g -= u64_int(w[k]) * diff * diff;
+    } else {
+      g += u64_int(w[k]) * diff;
+    }
+  }
+  return g;
+}
+
+Int partial_gain(const ProblemSpec& spec, const AttrVec& v0, const AttrVec& w,
+                 const AttrVec& v) {
+  spec.check_attributes(v0);
+  spec.check_attributes(v);
+  spec.check_weights(w);
+  Int p;
+  for (std::size_t k = 0; k < spec.m; ++k) {
+    const Int wk = u64_int(w[k]);
+    const Int vk = u64_int(v[k]);
+    if (k < spec.t) {
+      p -= wk * vk * vk - Int{2} * wk * vk * u64_int(v0[k]);
+    } else {
+      p += wk * vk;
+    }
+  }
+  return p;
+}
+
+Int gain_offset(const ProblemSpec& spec, const AttrVec& v0, const AttrVec& w) {
+  // C = Σ_{k>t} w_k v0_k + Σ_{k<=t} w_k v0_k^2, so that g = p - C.
+  Int c;
+  for (std::size_t k = 0; k < spec.m; ++k) {
+    const Int wk = u64_int(w[k]);
+    const Int v0k = u64_int(v0[k]);
+    c += (k < spec.t) ? wk * v0k * v0k : wk * v0k;
+  }
+  return c;
+}
+
+Nat signed_to_unsigned(const Int& s, std::size_t l) {
+  const Int shifted = s + Int{Nat::pow2(l - 1), false};
+  if (shifted.is_negative() || shifted.magnitude().bit_length() > l)
+    throw std::overflow_error("signed_to_unsigned: value out of l-bit range");
+  return shifted.magnitude();
+}
+
+Int unsigned_to_signed(const Nat& u, std::size_t l) {
+  if (u.bit_length() > l)
+    throw std::overflow_error("unsigned_to_signed: value out of range");
+  return Int::from_nat(u) - Int{Nat::pow2(l - 1), false};
+}
+
+std::vector<Nat> participant_vector(const FpCtx& field,
+                                    const ProblemSpec& spec, const AttrVec& v) {
+  spec.check_attributes(v);
+  std::vector<Nat> out;
+  out.reserve(spec.m + spec.t + 1);
+  // vg: "greater-than" part.
+  for (std::size_t k = spec.t; k < spec.m; ++k)
+    out.push_back(field.to(Nat{v[k]}));
+  // ve * ve.
+  for (std::size_t k = 0; k < spec.t; ++k)
+    out.push_back(field.to(Nat::mul(Nat{v[k]}, Nat{v[k]})));
+  // ve.
+  for (std::size_t k = 0; k < spec.t; ++k) out.push_back(field.to(Nat{v[k]}));
+  // trailing 1.
+  out.push_back(field.one());
+  return out;
+}
+
+std::vector<Nat> initiator_vector(const FpCtx& field, const ProblemSpec& spec,
+                                  const AttrVec& v0, const AttrVec& w,
+                                  const Nat& rho, const Nat& rho_j) {
+  spec.check_attributes(v0);
+  spec.check_weights(w);
+  const Nat rho_f = field.to(rho);
+  std::vector<Nat> out;
+  out.reserve(spec.m + spec.t + 1);
+  // ρ·wg.
+  for (std::size_t k = spec.t; k < spec.m; ++k)
+    out.push_back(field.mul(rho_f, field.to(Nat{w[k]})));
+  // -ρ·we.
+  for (std::size_t k = 0; k < spec.t; ++k)
+    out.push_back(field.neg(field.mul(rho_f, field.to(Nat{w[k]}))));
+  // 2ρ·(we * ve0).
+  for (std::size_t k = 0; k < spec.t; ++k) {
+    const Nat wv = field.mul(field.to(Nat{w[k]}), field.to(Nat{v0[k]}));
+    const Nat rho_wv = field.mul(rho_f, wv);
+    out.push_back(field.add(rho_wv, rho_wv));
+  }
+  // ρ_j.
+  out.push_back(field.to(rho_j));
+  return out;
+}
+
+Int masked_partial_gain(const ProblemSpec& spec, const AttrVec& v0,
+                        const AttrVec& w, const AttrVec& v, const Nat& rho,
+                        const Nat& rho_j) {
+  return Int::from_nat(rho) * partial_gain(spec, v0, w, v) +
+         Int::from_nat(rho_j);
+}
+
+}  // namespace ppgr::core

@@ -1,0 +1,95 @@
+// Problem-domain algebra of the paper (Sec. III): attribute vectors, gains,
+// partial gains, the masked β values and their signed/unsigned encoding.
+//
+// An instance has m attributes; the first t are "equal-to" attributes (the
+// initiator wants values near her criterion; age, blood pressure) and the
+// remaining m-t are "greater-than" attributes (the more the better; friend
+// count, income). Attribute values are d1-bit unsigned, weights d2-bit
+// unsigned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpz/fp.h"
+#include "mpz/sint.h"
+
+namespace ppgr::core {
+
+using mpz::FpCtx;
+using mpz::Int;
+using mpz::Nat;
+
+/// Attribute / weight vectors as plain integers (bounded by the spec).
+using AttrVec = std::vector<std::uint64_t>;
+
+struct ProblemSpec {
+  std::size_t m = 10;  // attribute count
+  std::size_t t = 5;   // first t attributes are "equal-to"
+  std::size_t d1 = 15; // bits per attribute value
+  std::size_t d2 = 15; // bits per weight
+  std::size_t h = 15;  // bits of the masking factor ρ
+
+  /// Throws std::invalid_argument when inconsistent (t > m, zero sizes,
+  /// widths that don't fit u64, ...).
+  void validate() const;
+  /// Validates a vector against d1 (attribute values).
+  void check_attributes(const AttrVec& v) const;
+  /// Validates a weight vector against d2.
+  void check_weights(const AttrVec& w) const;
+
+  /// Bit length l of the unsigned β encoding. The paper states
+  /// l = h + ceil(log2 m) + d1 + 2*d2 + 2; the exact worst case of
+  /// Def. 1's partial gain is |p| < 2^(ceil(log2 m) + 2*d1 + d2 + 2)
+  /// (the squared term carries 2*d1, not 2*d2 — an apparent typo in the
+  /// paper), so we use the safe bound
+  /// l = h + ceil(log2 m) + 2*d1 + d2 + 3.
+  [[nodiscard]] std::size_t beta_bits() const;
+};
+
+/// The gain of Def. 1:
+///   g = Σ_{k>t} w_k (v_k - v0_k)  -  Σ_{k<=t} w_k (v_k - v0_k)^2.
+[[nodiscard]] Int gain(const ProblemSpec& spec, const AttrVec& v0,
+                       const AttrVec& w, const AttrVec& v);
+
+/// The partial gain of Sec. III-A:
+///   p = Σ_{k>t} w_k v_k - Σ_{k<=t} (w_k v_k^2 - 2 w_k v_k v0_k),
+/// which differs from the gain by a constant that depends only on the
+/// initiator's inputs — so ranking by p equals ranking by g.
+[[nodiscard]] Int partial_gain(const ProblemSpec& spec, const AttrVec& v0,
+                               const AttrVec& w, const AttrVec& v);
+
+/// The initiator-only constant C with g = p - C.
+[[nodiscard]] Int gain_offset(const ProblemSpec& spec, const AttrVec& v0,
+                              const AttrVec& w);
+
+/// l-bit unsigned encoding of a signed value: u = s + 2^(l-1)
+/// (order-preserving; Sec. III-A). Throws std::overflow_error if out of
+/// range.
+[[nodiscard]] Nat signed_to_unsigned(const Int& s, std::size_t l);
+[[nodiscard]] Int unsigned_to_signed(const Nat& u, std::size_t l);
+
+/// Participant-side expanded vector for the secure dot product
+/// (framework step 2): w' = [vg, ve*ve, ve, 1], dimension m + t + 1,
+/// as field elements.
+[[nodiscard]] std::vector<Nat> participant_vector(const FpCtx& field,
+                                                  const ProblemSpec& spec,
+                                                  const AttrVec& v);
+
+/// Initiator-side expanded vector (framework step 3):
+/// v' = [ρ·wg, -ρ·we, 2ρ(we*ve0), ρ_j], dimension m + t + 1.
+[[nodiscard]] std::vector<Nat> initiator_vector(const FpCtx& field,
+                                                const ProblemSpec& spec,
+                                                const AttrVec& v0,
+                                                const AttrVec& w,
+                                                const Nat& rho,
+                                                const Nat& rho_j);
+
+/// Reference masked value β = ρ·p + ρ_j (for tests; the protocol computes
+/// this obliviously).
+[[nodiscard]] Int masked_partial_gain(const ProblemSpec& spec,
+                                      const AttrVec& v0, const AttrVec& w,
+                                      const AttrVec& v, const Nat& rho,
+                                      const Nat& rho_j);
+
+}  // namespace ppgr::core

@@ -1,0 +1,130 @@
+#include "core/ss_framework.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "mpz/prime.h"
+
+namespace ppgr::core {
+
+const FpCtx& ss_field_for_beta_bits(std::size_t l) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<FpCtx>> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[l];
+  if (!slot) {
+    // Deterministic seed per l keeps benchmarks reproducible.
+    mpz::ChaChaRng rng{0x55AA0000u + l};
+    slot = std::make_unique<FpCtx>(mpz::random_prime(l + 2, rng));
+  }
+  return *slot;
+}
+
+SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
+                                   const AttrVec& v0, const AttrVec& w,
+                                   const std::vector<AttrVec>& infos,
+                                   Rng& rng) {
+  const FrameworkConfig& base = cfg.base;
+  base.validate();
+  if (infos.size() != base.n)
+    throw std::invalid_argument("run_ss_framework: infos size != n");
+  const std::size_t n = base.n;
+  const std::size_t l = base.spec.beta_bits();
+  const bool counting = cfg.mode == sss::MpcEngine::Mode::kCountOnly;
+
+  SsFrameworkResult result;
+  runtime::PartyTimer timer{n + 1};
+  auto& trace = result.trace;
+
+  // ---- Phase 1 (identical to the main framework) ----
+  Initiator initiator{base, v0, w, rng};
+  std::vector<Participant> parts;
+  parts.reserve(n);
+  for (std::size_t j = 1; j <= n; ++j)
+    parts.emplace_back(base, j, infos[j - 1], rng);
+  const std::size_t d = base.spec.m + base.spec.t + 1;
+  std::vector<Nat> betas(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const dotprod::BobRound1* q;
+    {
+      auto scope = timer.time(j + 1);
+      q = &parts[j].gain_query();
+    }
+    trace.record(j + 1, 0,
+                 dotprod::bob_message_bytes(
+                     *base.dot_field,
+                     std::max(base.dot_s, dotprod::recommended_s(d)), d));
+    dotprod::AliceRound2 a;
+    {
+      auto scope = timer.time(0);
+      a = initiator.answer_gain_query(j + 1, *q);
+    }
+    {
+      auto scope = timer.time(j + 1);
+      parts[j].receive_gain_answer(a);
+    }
+    betas[j] = parts[j].beta();
+  }
+  trace.record(0, 1, n * dotprod::alice_message_bytes(*base.dot_field));
+  trace.next_round();
+
+  // ---- Phase 2: secret-sharing sort of the β values ----
+  const FpCtx& field = ss_field_for_beta_bits(l);
+  sss::MpcEngine engine{field, n, cfg.threshold, rng, cfg.mode};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sorted = sss::mpc_rank_sort(engine, betas);
+  const double sort_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // The engine simulates all n parties in one process; attribute an equal
+  // per-party slice of the measured time.
+  for (std::size_t j = 1; j <= n; ++j)
+    timer.add(j, sort_seconds / static_cast<double>(n));
+  result.sort_costs = sorted.costs;
+  result.parallel_rounds = sorted.parallel_rounds;
+  result.comparators = sorted.comparators;
+
+  // Synthetic trace for network replay: the sort's total bytes spread evenly
+  // over its parallel rounds as all-to-all traffic (every interactive
+  // primitive is an all-to-all exchange of field elements). The recorded
+  // trace is capped at kMaxTraceRounds rounds — beyond that, consecutive
+  // rounds are coalesced into proportionally larger messages so totals stay
+  // exact and memory stays bounded (rounds x n^2 records would reach 10^8 at
+  // n = 100). Network benches use `parallel_rounds` + `sort_costs.bytes`
+  // directly and are unaffected.
+  constexpr std::uint64_t kMaxTraceRounds = 512;
+  const std::uint64_t rounds = std::max<std::uint64_t>(1, sorted.parallel_rounds);
+  const std::uint64_t recorded_rounds = std::min(rounds, kMaxTraceRounds);
+  const std::size_t pair_count = n * (n - 1);
+  const std::size_t per_msg = std::max<std::size_t>(
+      1, sorted.costs.bytes / (recorded_rounds * pair_count));
+  for (std::uint64_t r = 0; r < recorded_rounds; ++r) {
+    for (std::size_t a = 1; a <= n; ++a)
+      for (std::size_t b = 1; b <= n; ++b)
+        if (a != b) trace.record(a, b, per_msg);
+    trace.next_round();
+  }
+
+  // ---- Phase 3 ----
+  if (!counting) {
+    result.ranks = sorted.ranks;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (result.ranks[j] <= base.k) {
+        result.submitted_ids.push_back(j + 1);
+        trace.record(j + 1, 0, base.spec.m * ((base.spec.d1 + 7) / 8) + 8);
+        initiator.receive_submission(Initiator::Submission{
+            .participant = j + 1, .claimed_rank = result.ranks[j],
+            .info = infos[j]});
+      }
+    }
+    trace.next_round();
+  }
+
+  result.compute_seconds.resize(n + 1);
+  for (std::size_t p = 0; p <= n; ++p)
+    result.compute_seconds[p] = timer.seconds(p);
+  return result;
+}
+
+}  // namespace ppgr::core

@@ -1,0 +1,46 @@
+// The paper's comparison baseline: the "SS framework" (Sec. VII).
+//
+// Phase 1 is identical to the main framework (the secure dot product with
+// the initiator produces each participant's masked gain β_j); phase 2 is
+// replaced by the Jónsson-style secret-sharing sort: β values are shared
+// among the n participants and ranked through a Batcher network of
+// Nishide–Ohta comparisons. Phase 3 is the same submission step.
+//
+// Note what this baseline gives up relative to the paper's protocol: the
+// complete ranking permutation becomes public (every party sees which party
+// holds every rank), and the collusion threshold drops to t < n/2 because
+// GRR degree reduction needs 2t+1 honest-behaving parties.
+#pragma once
+
+#include "core/framework.h"
+#include "sss/mpc_sort.h"
+
+namespace ppgr::core {
+
+struct SsFrameworkResult {
+  std::vector<std::size_t> ranks;          // per participant, 1-based
+  std::vector<std::size_t> submitted_ids;  // rank <= k
+  sss::MpcCosts sort_costs;                // exact metered MPC costs
+  std::uint64_t parallel_rounds = 0;       // phase-2 parallel rounds
+  std::size_t comparators = 0;
+  runtime::TraceRecorder trace;            // phase-1 exact + phase-2 synthetic
+  std::vector<double> compute_seconds;     // index 0 = initiator
+};
+
+struct SsFrameworkConfig {
+  FrameworkConfig base;     // group is unused; dot_field/spec/n/k are
+  std::size_t threshold;    // SS threshold t (max colluders), n >= 2t+1
+  sss::MpcEngine::Mode mode = sss::MpcEngine::Mode::kReal;
+};
+
+/// Prime field sized for comparing l-bit β values (p > 2^(l+1), so that the
+/// Nishide–Ohta |a-b| < p/2 condition holds). Deterministic per l.
+[[nodiscard]] const FpCtx& ss_field_for_beta_bits(std::size_t l);
+
+[[nodiscard]] SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
+                                                 const AttrVec& v0,
+                                                 const AttrVec& w,
+                                                 const std::vector<AttrVec>& infos,
+                                                 Rng& rng);
+
+}  // namespace ppgr::core

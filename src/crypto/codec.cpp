@@ -1,0 +1,74 @@
+#include "crypto/codec.h"
+
+namespace ppgr::crypto {
+
+void write_elem(Writer& w, const Group& g, const Elem& e) {
+  w.raw(g.serialize(e));
+}
+
+Elem read_elem(Reader& r, const Group& g) {
+  return g.deserialize(r.raw(g.element_bytes()));
+}
+
+void write_ciphertext(Writer& w, const Group& g, const Ciphertext& ct) {
+  write_elem(w, g, ct.c);
+  write_elem(w, g, ct.cp);
+}
+
+Ciphertext read_ciphertext(Reader& r, const Group& g) {
+  Ciphertext ct;
+  ct.c = read_elem(r, g);
+  ct.cp = read_elem(r, g);
+  return ct;
+}
+
+void write_ciphertexts(Writer& w, const Group& g,
+                       std::span<const Ciphertext> cts) {
+  w.varint(cts.size());
+  for (const auto& ct : cts) write_ciphertext(w, g, ct);
+}
+
+std::vector<Ciphertext> read_ciphertexts(Reader& r, const Group& g) {
+  const std::uint64_t count = r.varint();
+  // Bound by what the input can actually hold — rejects length bombs.
+  if (count > r.remaining() / ciphertext_wire_bytes(g) + 1)
+    throw runtime::WireError("ciphertexts: length prefix exceeds input");
+  std::vector<Ciphertext> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i)
+    out.push_back(read_ciphertext(r, g));
+  return out;
+}
+
+void write_transcript(Writer& w, const Group& g, const SchnorrTranscript& t) {
+  write_elem(w, g, t.commitment);
+  w.varint(t.challenges.size());
+  for (const auto& c : t.challenges) w.nat(c);
+  w.nat(t.response);
+}
+
+SchnorrTranscript read_transcript(Reader& r, const Group& g) {
+  SchnorrTranscript t;
+  t.commitment = read_elem(r, g);
+  const std::uint64_t count = r.varint();
+  if (count > r.remaining())  // each challenge takes >= 1 byte
+    throw runtime::WireError("transcript: length prefix exceeds input");
+  t.challenges.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    t.challenges.push_back(r.nat());
+    if (t.challenges.back() >= g.order())
+      throw runtime::WireError("transcript: challenge out of range");
+  }
+  t.response = r.nat();
+  if (t.response >= g.order())
+    throw runtime::WireError("transcript: response out of range");
+  return t;
+}
+
+std::size_t elem_wire_bytes(const Group& g) { return g.element_bytes(); }
+
+std::size_t ciphertext_wire_bytes(const Group& g) {
+  return 2 * g.element_bytes();
+}
+
+}  // namespace ppgr::crypto

@@ -1,0 +1,36 @@
+// Wire codecs for the cryptographic message types (see runtime/wire.h).
+//
+// Group elements use the group's fixed-size canonical encoding; decoding
+// validates group membership (the underlying deserialize rejects
+// non-residues / off-curve points), so a malformed peer message fails
+// loudly at the boundary instead of corrupting protocol state.
+#pragma once
+
+#include "crypto/elgamal.h"
+#include "crypto/schnorr_proof.h"
+#include "runtime/wire.h"
+
+namespace ppgr::crypto {
+
+using runtime::Reader;
+using runtime::Writer;
+
+void write_elem(Writer& w, const Group& g, const Elem& e);
+[[nodiscard]] Elem read_elem(Reader& r, const Group& g);
+
+void write_ciphertext(Writer& w, const Group& g, const Ciphertext& ct);
+[[nodiscard]] Ciphertext read_ciphertext(Reader& r, const Group& g);
+
+void write_ciphertexts(Writer& w, const Group& g,
+                       std::span<const Ciphertext> cts);
+[[nodiscard]] std::vector<Ciphertext> read_ciphertexts(Reader& r,
+                                                       const Group& g);
+
+void write_transcript(Writer& w, const Group& g, const SchnorrTranscript& t);
+[[nodiscard]] SchnorrTranscript read_transcript(Reader& r, const Group& g);
+
+/// Encoded sizes (exact): these back the TraceRecorder byte accounting.
+[[nodiscard]] std::size_t elem_wire_bytes(const Group& g);
+[[nodiscard]] std::size_t ciphertext_wire_bytes(const Group& g);
+
+}  // namespace ppgr::crypto

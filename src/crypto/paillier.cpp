@@ -1,0 +1,78 @@
+#include "crypto/paillier.h"
+
+#include <stdexcept>
+
+#include "mpz/modarith.h"
+#include "mpz/prime.h"
+
+namespace ppgr::crypto {
+
+PaillierPublicKey::PaillierPublicKey(Nat modulus)
+    : n_(std::move(modulus)), mont_n2_(Nat::mul(n_, n_)) {
+  if (n_ < Nat{4}) throw std::invalid_argument("Paillier: modulus too small");
+}
+
+std::size_t PaillierPublicKey::ciphertext_bytes() const {
+  return (n_squared().bit_length() + 7) / 8;
+}
+
+Nat PaillierPublicKey::encrypt(const Nat& m, Rng& rng) const {
+  if (m >= n_) throw std::invalid_argument("Paillier::encrypt: m >= N");
+  // (1 + mN) * r^N mod N^2, with r coprime to N (random < N is coprime with
+  // overwhelming probability; retry on the negligible failure).
+  Nat r;
+  do {
+    r = rng.nonzero_below(n_);
+  } while (!mpz::gcd(r, n_).is_one());
+  const Nat one_plus_mn = mont_n2_.to_mont(
+      Nat::add(Nat{1}, Nat::mul(m, n_)) % n_squared());
+  const Nat r_pow_n = mont_n2_.exp(mont_n2_.to_mont(r), n_);
+  return mont_n2_.from_mont(mont_n2_.mul(one_plus_mn, r_pow_n));
+}
+
+Nat PaillierPublicKey::add(const Nat& c1, const Nat& c2) const {
+  return Nat::mul(c1, c2) % n_squared();
+}
+
+Nat PaillierPublicKey::scale(const Nat& c, const Nat& k) const {
+  return mont_n2_.from_mont(mont_n2_.exp(mont_n2_.to_mont(c), k));
+}
+
+Nat PaillierPublicKey::rerandomize(const Nat& c, Rng& rng) const {
+  return add(c, encrypt(Nat{}, rng));
+}
+
+PaillierPrivateKey::PaillierPrivateKey(PaillierPublicKey pub, Nat lambda,
+                                       Nat mu)
+    : pub_(std::move(pub)), lambda_(std::move(lambda)), mu_(std::move(mu)) {}
+
+PaillierPrivateKey PaillierPrivateKey::generate(std::size_t modulus_bits,
+                                                Rng& rng) {
+  if (modulus_bits < 16)
+    throw std::invalid_argument("Paillier: modulus too small");
+  for (;;) {
+    const Nat p = mpz::random_prime(modulus_bits / 2, rng);
+    const Nat q = mpz::random_prime(modulus_bits - modulus_bits / 2, rng);
+    if (p == q) continue;
+    const Nat n = Nat::mul(p, q);
+    // λ = lcm(p-1, q-1).
+    const Nat p1 = Nat::sub(p, Nat{1}), q1 = Nat::sub(q, Nat{1});
+    const Nat lambda = Nat::mul(p1, q1) / mpz::gcd(p1, q1);
+    const auto mu = mpz::invmod(lambda, n);
+    if (!mu) continue;  // gcd(λ, N) != 1: re-draw primes
+    return PaillierPrivateKey{PaillierPublicKey{n}, lambda, *mu};
+  }
+}
+
+Nat PaillierPrivateKey::decrypt(const Nat& c) const {
+  const Nat& n = pub_.n();
+  if (c.is_zero() || c >= pub_.n_squared())
+    throw std::invalid_argument("Paillier::decrypt: ciphertext out of range");
+  // L(c^λ mod N²) · μ mod N, with L(x) = (x - 1) / N.
+  const Nat c_lambda = pub_.mont_n2_.from_mont(
+      pub_.mont_n2_.exp(pub_.mont_n2_.to_mont(c), lambda_));
+  const Nat l = Nat::sub(c_lambda, Nat{1}) / n;
+  return Nat::mul(l, mu_) % n;
+}
+
+}  // namespace ppgr::crypto

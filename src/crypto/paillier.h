@@ -1,0 +1,71 @@
+// Paillier cryptosystem (the paper's reference [10]) — the other additively
+// homomorphic encryption a group-ranking framework could be built on.
+//
+// Implemented as an extension to make the paper's design choice concrete
+// (see bench/ablation_paillier): Paillier decrypts sums *directly* (no
+// discrete-log recovery, unlike exponential ElGamal), and supports the same
+// homomorphic toolbox (add = ciphertext product, scale = ciphertext power,
+// re-randomize = multiply an encryption of zero). What it cannot give the
+// framework is a dealerless *distributed* key: the secret is the
+// factorization of N, and generating an RSA modulus jointly among n mutually
+// distrusting parties is far heavier than the one-round ElGamal joint key
+// y = Π g^{x_j} — which is why the paper (and this library's core) uses
+// ElGamal for the unlinkable comparison phase.
+//
+// Standard simplified variant: g = N + 1, so encryption is
+// E(m; r) = (1 + mN) · r^N mod N², and decryption uses
+// m = L(c^λ mod N²) · λ^{-1} mod N with L(x) = (x-1)/N.
+#pragma once
+
+#include "mpz/mont.h"
+#include "mpz/nat.h"
+#include "mpz/rng.h"
+
+namespace ppgr::crypto {
+
+using mpz::Nat;
+using mpz::Rng;
+
+class PaillierPublicKey {
+ public:
+  explicit PaillierPublicKey(Nat modulus);
+
+  [[nodiscard]] const Nat& n() const { return n_; }
+  [[nodiscard]] const Nat& n_squared() const { return mont_n2_.modulus(); }
+  [[nodiscard]] std::size_t modulus_bits() const { return n_.bit_length(); }
+  /// Serialized ciphertext size in bytes (one element of Z_{N^2}).
+  [[nodiscard]] std::size_t ciphertext_bytes() const;
+
+  /// E(m; fresh r). m must be < N.
+  [[nodiscard]] Nat encrypt(const Nat& m, Rng& rng) const;
+  /// E(m1) * E(m2) = E(m1 + m2 mod N).
+  [[nodiscard]] Nat add(const Nat& c1, const Nat& c2) const;
+  /// E(m)^k = E(k·m mod N).
+  [[nodiscard]] Nat scale(const Nat& c, const Nat& k) const;
+  /// Multiply in a fresh encryption of zero.
+  [[nodiscard]] Nat rerandomize(const Nat& c, Rng& rng) const;
+
+ private:
+  friend class PaillierPrivateKey;
+  Nat n_;
+  mpz::MontCtx mont_n2_;
+};
+
+class PaillierPrivateKey {
+ public:
+  /// Generates an RSA modulus of `modulus_bits` (two random primes).
+  static PaillierPrivateKey generate(std::size_t modulus_bits, Rng& rng);
+
+  [[nodiscard]] const PaillierPublicKey& public_key() const { return pub_; }
+  /// Recovers m < N from a ciphertext.
+  [[nodiscard]] Nat decrypt(const Nat& c) const;
+
+ private:
+  PaillierPrivateKey(PaillierPublicKey pub, Nat lambda, Nat mu);
+
+  PaillierPublicKey pub_;
+  Nat lambda_;  // lcm(p-1, q-1)
+  Nat mu_;      // lambda^{-1} mod N
+};
+
+}  // namespace ppgr::crypto

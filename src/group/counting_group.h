@@ -1,0 +1,96 @@
+// Op-counting decorator over any Group.
+//
+// The paper's Sec. VI-B efficiency analysis is stated in group
+// multiplications; our benchmark harness reproduces the figures by running
+// the real protocols through this decorator to obtain *exact* operation
+// counts, then pricing the counts with per-operation costs calibrated by
+// google-benchmark (bench/micro_groupops). The decorator forwards every call
+// to the wrapped group, so counted runs still produce correct protocol
+// results.
+#pragma once
+
+#include <cstdint>
+
+#include "group/group.h"
+
+namespace ppgr::group {
+
+struct OpCounts {
+  std::uint64_t muls = 0;
+  std::uint64_t exps = 0;      // variable-base exponentiations
+  std::uint64_t gexps = 0;     // fixed-base (generator) exponentiations
+  std::uint64_t exp_bits = 0;  // total scalar bits across exps
+  std::uint64_t invs = 0;
+  std::uint64_t serializations = 0;
+  std::uint64_t deserializations = 0;
+
+  OpCounts& operator+=(const OpCounts& o) {
+    muls += o.muls;
+    exps += o.exps;
+    gexps += o.gexps;
+    exp_bits += o.exp_bits;
+    invs += o.invs;
+    serializations += o.serializations;
+    deserializations += o.deserializations;
+    return *this;
+  }
+};
+
+class CountingGroup final : public Group {
+ public:
+  /// Does not own `inner`; it must outlive this decorator.
+  explicit CountingGroup(const Group& inner) : inner_(inner) {}
+
+  [[nodiscard]] const OpCounts& counts() const { return counts_; }
+  void reset() { counts_ = OpCounts{}; }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + "+counting";
+  }
+  [[nodiscard]] const Nat& order() const override { return inner_.order(); }
+  [[nodiscard]] std::size_t field_bits() const override {
+    return inner_.field_bits();
+  }
+  [[nodiscard]] Elem generator() const override { return inner_.generator(); }
+  [[nodiscard]] Elem identity() const override { return inner_.identity(); }
+  [[nodiscard]] Elem mul(const Elem& x, const Elem& y) const override {
+    ++counts_.muls;
+    return inner_.mul(x, y);
+  }
+  [[nodiscard]] Elem exp(const Elem& base, const Nat& scalar) const override {
+    ++counts_.exps;
+    counts_.exp_bits += scalar.bit_length();
+    return inner_.exp(base, scalar);
+  }
+  [[nodiscard]] Elem exp_g(const Nat& scalar) const override {
+    ++counts_.gexps;
+    return inner_.exp_g(scalar);
+  }
+  [[nodiscard]] Elem inv(const Elem& x) const override {
+    ++counts_.invs;
+    return inner_.inv(x);
+  }
+  [[nodiscard]] bool eq(const Elem& x, const Elem& y) const override {
+    return inner_.eq(x, y);
+  }
+  [[nodiscard]] bool is_identity(const Elem& x) const override {
+    return inner_.is_identity(x);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const Elem& x) const override {
+    ++counts_.serializations;
+    return inner_.serialize(x);
+  }
+  [[nodiscard]] Elem deserialize(std::span<const std::uint8_t> bytes) const override {
+    ++counts_.deserializations;
+    return inner_.deserialize(bytes);
+  }
+  [[nodiscard]] std::size_t element_bytes() const override {
+    return inner_.element_bytes();
+  }
+
+ private:
+  const Group& inner_;
+  mutable OpCounts counts_;
+};
+
+}  // namespace ppgr::group

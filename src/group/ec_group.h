@@ -1,0 +1,83 @@
+// The "ECC" instantiation of the paper's DDH group: a prime-order
+// short-Weierstrass elliptic curve y^2 = x^3 + ax + b over Z_p, written
+// multiplicatively to match the Group interface (mul = point addition,
+// exp = scalar multiplication).
+//
+// We ship the NIST P-192 / P-224 / P-256 curves (all with cofactor 1 and
+// a = -3), the standardized equivalents of the "160/224/256-bit ECC group"
+// security levels compared in the paper's Fig. 3(a). Internally points are
+// kept in Jacobian coordinates (X, Y, Z) with field elements in Montgomery
+// form; serialization is the affine uncompressed SEC1 format 0x04 || x || y
+// (0x00 for the identity).
+#pragma once
+
+#include <memory>
+
+#include "group/fixed_base.h"
+#include "group/group.h"
+#include "mpz/fp.h"
+
+namespace ppgr::group {
+
+/// Short-Weierstrass curve parameters (affine, standard representation).
+struct CurveParams {
+  std::string name;
+  Nat p;      // field prime
+  Nat a;      // usually p - 3
+  Nat b;
+  Nat gx;     // base point
+  Nat gy;
+  Nat order;  // prime order n (cofactor must be 1)
+};
+
+class EcGroup final : public Group {
+ public:
+  explicit EcGroup(CurveParams params);
+
+  [[nodiscard]] std::string name() const override { return params_.name; }
+  [[nodiscard]] const Nat& order() const override { return params_.order; }
+  [[nodiscard]] std::size_t field_bits() const override {
+    return field_.bits();
+  }
+  [[nodiscard]] const mpz::FpCtx& field() const { return field_; }
+
+  [[nodiscard]] Elem generator() const override { return gen_; }
+  [[nodiscard]] Elem exp_g(const Nat& scalar) const override;
+  [[nodiscard]] Elem identity() const override { return Elem{.infinity = true}; }
+  [[nodiscard]] Elem mul(const Elem& x, const Elem& y) const override;
+  [[nodiscard]] Elem exp(const Elem& base, const Nat& scalar) const override;
+  [[nodiscard]] Elem inv(const Elem& x) const override;
+  [[nodiscard]] bool eq(const Elem& x, const Elem& y) const override;
+  [[nodiscard]] bool is_identity(const Elem& x) const override {
+    return x.infinity;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const Elem& x) const override;
+  [[nodiscard]] Elem deserialize(std::span<const std::uint8_t> bytes) const override;
+  [[nodiscard]] std::size_t element_bytes() const override;
+
+  /// Affine coordinates (standard form). Throws on the identity.
+  [[nodiscard]] std::pair<Nat, Nat> to_affine(const Elem& pt) const;
+  /// Point from affine coordinates; validates the curve equation.
+  [[nodiscard]] Elem from_affine(const Nat& x, const Nat& y) const;
+  /// Curve-equation check on affine (standard-form) coordinates.
+  [[nodiscard]] bool on_curve(const Nat& x, const Nat& y) const;
+
+ private:
+  [[nodiscard]] Elem dbl(const Elem& pt) const;
+
+  CurveParams params_;
+  mpz::FpCtx field_;
+  Nat a_mont_;  // curve a in Montgomery form
+  Nat b_mont_;
+  Elem gen_;
+  // Lazily built comb table for the generator (single-threaded use).
+  mutable std::unique_ptr<FixedBaseTable> gen_table_;
+};
+
+/// Built-in curves.
+[[nodiscard]] CurveParams nist_p192();
+[[nodiscard]] CurveParams nist_p224();
+[[nodiscard]] CurveParams nist_p256();
+
+}  // namespace ppgr::group

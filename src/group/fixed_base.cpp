@@ -1,0 +1,36 @@
+#include "group/fixed_base.h"
+
+namespace ppgr::group {
+
+FixedBaseTable::FixedBaseTable(const Group& g, const Elem& base,
+                               std::size_t max_scalar_bits)
+    : base_(base) {
+  const std::size_t windows = (max_scalar_bits + 3) / 4;
+  table_.resize(windows);
+  Elem window_base = base;  // g^(16^k)
+  for (std::size_t k = 0; k < windows; ++k) {
+    table_[k][0] = g.identity();
+    table_[k][1] = window_base;
+    for (std::size_t d = 2; d < 16; ++d)
+      table_[k][d] = g.mul(table_[k][d - 1], window_base);
+    // Advance to g^(16^(k+1)) = (g^(16^k))^16.
+    window_base = g.mul(table_[k][15], window_base);
+  }
+}
+
+Elem FixedBaseTable::exp(const Group& g, const Nat& scalar) const {
+  const std::size_t nbits = scalar.bit_length();
+  if (nbits > table_.size() * 4) return g.exp(base_, scalar);  // too wide
+  Elem acc = g.identity();
+  const std::size_t windows = (nbits + 3) / 4;
+  for (std::size_t k = 0; k < windows; ++k) {
+    std::size_t nib = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (scalar.bit(k * 4 + b)) nib |= (1u << b);
+    }
+    if (nib != 0) acc = g.mul(acc, table_[k][nib]);
+  }
+  return acc;
+}
+
+}  // namespace ppgr::group

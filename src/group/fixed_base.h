@@ -1,0 +1,34 @@
+// Fixed-base exponentiation via a 4-bit comb table.
+//
+// For a fixed base g, precompute T[k][d] = g^(d * 16^k) for every nibble
+// position k of the scalar; then g^s = Π_k T[k][nibble_k(s)] — one group
+// multiplication per nonzero nibble and zero squarings. Shared by the
+// Schnorr and elliptic-curve groups for their generator (the hottest base in
+// the framework: every ElGamal encryption computes two fixed-base powers).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "group/group.h"
+
+namespace ppgr::group {
+
+class FixedBaseTable {
+ public:
+  /// Precomputes for scalars up to `max_scalar_bits` bits. The table costs
+  /// ceil(bits/4) * 15 precomputed elements.
+  FixedBaseTable(const Group& g, const Elem& base, std::size_t max_scalar_bits);
+
+  /// base^scalar using only multiplications. Falls back to the group's
+  /// generic exp for scalars wider than the table.
+  [[nodiscard]] Elem exp(const Group& g, const Nat& scalar) const;
+
+  [[nodiscard]] std::size_t windows() const { return table_.size(); }
+
+ private:
+  Elem base_;
+  std::vector<std::array<Elem, 16>> table_;  // [window][nibble]
+};
+
+}  // namespace ppgr::group

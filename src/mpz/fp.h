@@ -1,0 +1,69 @@
+// Prime-field context Z_p.
+//
+// A thin, explicit layer over MontCtx: every element handled through FpCtx is
+// a Nat *in Montgomery form*. This keeps elliptic-curve formulas and
+// secret-sharing polynomial evaluation fast (no per-operation conversions)
+// while staying value-typed. The secure dot-product protocol and the Shamir
+// substrate are both written against this class.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "mpz/mont.h"
+#include "mpz/rng.h"
+#include "mpz/sint.h"
+
+namespace ppgr::mpz {
+
+class FpCtx {
+ public:
+  /// p must be an odd prime > 2 (primality is the caller's responsibility;
+  /// oddness is enforced).
+  explicit FpCtx(Nat p);
+
+  [[nodiscard]] const Nat& p() const { return mont_.modulus(); }
+  [[nodiscard]] std::size_t bits() const { return p().bit_length(); }
+
+  // --- conversions (standard <-> Montgomery form) ---
+  /// Standard representative (reduced mod p first) -> field element.
+  [[nodiscard]] Nat to(const Nat& standard) const;
+  /// Signed integer -> field element (Euclidean reduction).
+  [[nodiscard]] Nat to_signed(const Int& v) const;
+  /// Field element -> standard representative in [0, p).
+  [[nodiscard]] Nat from(const Nat& elem) const { return mont_.from_mont(elem); }
+  /// Field element -> signed integer, centering to (-p/2, p/2].
+  [[nodiscard]] Int from_centered(const Nat& elem) const;
+
+  // --- arithmetic on field elements ---
+  [[nodiscard]] Nat zero() const { return Nat{}; }
+  [[nodiscard]] const Nat& one() const { return mont_.one_mont(); }
+  [[nodiscard]] Nat add(const Nat& a, const Nat& b) const { return mont_.add(a, b); }
+  [[nodiscard]] Nat sub(const Nat& a, const Nat& b) const { return mont_.sub(a, b); }
+  [[nodiscard]] Nat neg(const Nat& a) const;
+  [[nodiscard]] Nat mul(const Nat& a, const Nat& b) const { return mont_.mul(a, b); }
+  [[nodiscard]] Nat sqr(const Nat& a) const { return mont_.sqr(a); }
+  /// a^e for plain (non-field) exponent e.
+  [[nodiscard]] Nat pow(const Nat& a, const Nat& e) const { return mont_.exp(a, e); }
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  [[nodiscard]] Nat inv(const Nat& a) const;
+  /// a/b.
+  [[nodiscard]] Nat div(const Nat& a, const Nat& b) const { return mul(a, inv(b)); }
+  /// Square root in the field, if one exists.
+  [[nodiscard]] std::optional<Nat> sqrt(const Nat& a) const;
+
+  [[nodiscard]] bool is_zero(const Nat& a) const { return a.is_zero(); }
+  [[nodiscard]] bool eq(const Nat& a, const Nat& b) const { return a == b; }
+
+  /// Uniform random field element.
+  [[nodiscard]] Nat random(Rng& rng) const { return to(rng.below(p())); }
+  /// Uniform random nonzero field element.
+  [[nodiscard]] Nat random_nonzero(Rng& rng) const {
+    return to(rng.nonzero_below(p()));
+  }
+
+ private:
+  MontCtx mont_;
+};
+
+}  // namespace ppgr::mpz

@@ -1,0 +1,141 @@
+#include "mpz/modarith.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "mpz/mont.h"
+#include "mpz/sint.h"
+
+namespace ppgr::mpz {
+
+Nat gcd(Nat a, Nat b) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  // Binary GCD.
+  std::size_t shift = 0;
+  while (a.is_even() && b.is_even()) {
+    a = a.shr(1);
+    b = b.shr(1);
+    ++shift;
+  }
+  while (a.is_even()) a = a.shr(1);
+  while (!b.is_zero()) {
+    while (b.is_even()) b = b.shr(1);
+    if (a > b) std::swap(a, b);
+    b = Nat::sub(b, a);
+  }
+  return a.shl(shift);
+}
+
+std::optional<Nat> invmod(const Nat& a, const Nat& m) {
+  if (m <= Nat{1}) throw std::invalid_argument("invmod: modulus must be > 1");
+  // Extended Euclid over signed integers.
+  Int old_r = Int::from_nat(a % m), r = Int::from_nat(m);
+  Int old_s{1}, s{0};
+  while (!r.is_zero()) {
+    const Int q = Int::divrem(old_r, r).quot;
+    Int tmp = old_r - q * r;
+    old_r = std::exchange(r, std::move(tmp));
+    tmp = old_s - q * s;
+    old_s = std::exchange(s, std::move(tmp));
+  }
+  if (old_r != Int{1}) return std::nullopt;  // not coprime
+  return old_s.mod(m);
+}
+
+Nat powmod(const Nat& base, const Nat& e, const Nat& m) {
+  if (m.is_zero()) throw std::domain_error("powmod: zero modulus");
+  if (m.is_one()) return Nat{};
+  if (m.is_odd()) {
+    const MontCtx ctx{m};
+    return ctx.from_mont(ctx.exp(ctx.to_mont(base % m), e));
+  }
+  // Plain square-and-multiply with division-based reduction (rare path).
+  Nat acc{1};
+  Nat b = base % m;
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    acc = Nat::mul(acc, acc) % m;
+    if (e.bit(i)) acc = Nat::mul(acc, b) % m;
+  }
+  return acc;
+}
+
+int jacobi(Nat a, Nat n) {
+  if (n.is_even() || n.is_zero())
+    throw std::invalid_argument("jacobi: n must be odd and positive");
+  a = a % n;
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a = a.shr(1);
+      const Limb n_mod_8 = n.limb(0) & 7u;
+      if (n_mod_8 == 3 || n_mod_8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a.limb(0) & 3u) == 3 && (n.limb(0) & 3u) == 3) result = -result;
+    a = a % n;
+  }
+  return n.is_one() ? result : 0;
+}
+
+std::optional<Nat> sqrtmod(const Nat& a, const Nat& p) {
+  const Nat a_red = a % p;
+  if (a_red.is_zero()) return Nat{};
+  if (jacobi(a_red, p) != 1) return std::nullopt;
+  const Nat one{1};
+  if ((p.limb(0) & 3u) == 3) {
+    // p ≡ 3 (mod 4): sqrt = a^((p+1)/4).
+    return powmod(a_red, Nat::add(p, one).shr(2), p);
+  }
+  // Tonelli–Shanks. Write p-1 = q * 2^s with q odd.
+  Nat q = Nat::sub(p, one);
+  std::size_t s = 0;
+  while (q.is_even()) {
+    q = q.shr(1);
+    ++s;
+  }
+  // Find a quadratic non-residue z.
+  Nat z{2};
+  while (jacobi(z, p) != -1) z += one;
+
+  Nat m_exp{static_cast<Limb>(s)};
+  std::size_t m = s;
+  Nat c = powmod(z, q, p);
+  Nat t = powmod(a_red, q, p);
+  Nat r = powmod(a_red, Nat::add(q, one).shr(1), p);
+  while (!t.is_one()) {
+    // Find least i in (0, m) with t^(2^i) == 1.
+    std::size_t i = 0;
+    Nat t2 = t;
+    while (!t2.is_one()) {
+      t2 = Nat::mul(t2, t2) % p;
+      ++i;
+      if (i == m) return std::nullopt;  // unreachable for prime p
+    }
+    const Nat b = powmod(c, Nat::pow2(m - i - 1), p);
+    m = i;
+    c = Nat::mul(b, b) % p;
+    t = Nat::mul(t, c) % p;
+    r = Nat::mul(r, b) % p;
+  }
+  return r;
+}
+
+BarrettCtx::BarrettCtx(Nat modulus) : m_(std::move(modulus)) {
+  if (m_ <= Nat{1}) throw std::invalid_argument("BarrettCtx: modulus must be > 1");
+  k_ = m_.limb_count();
+  mu_ = Nat::pow2(2 * 64 * k_) / m_;
+}
+
+Nat BarrettCtx::reduce(const Nat& a) const {
+  // Classic Barrett: q = floor(floor(a / b^(k-1)) * mu / b^(k+1)), with
+  // b = 2^64; then at most two correction subtractions.
+  const Nat q1 = a.shr(64 * (k_ - 1));
+  const Nat q2 = Nat::mul(q1, mu_);
+  const Nat q3 = q2.shr(64 * (k_ + 1));
+  Nat r = Nat::sub(a, Nat::mul(q3, m_));
+  while (r >= m_) r = Nat::sub(r, m_);
+  return r;
+}
+
+}  // namespace ppgr::mpz

@@ -1,0 +1,43 @@
+// Number-theoretic helpers over Nat: gcd, modular inverse, general modular
+// exponentiation, Jacobi symbol, modular square roots (Tonelli–Shanks), and a
+// Barrett reduction context for repeated reduction by a fixed (possibly even)
+// modulus.
+#pragma once
+
+#include <optional>
+
+#include "mpz/nat.h"
+
+namespace ppgr::mpz {
+
+/// Greatest common divisor (binary GCD).
+[[nodiscard]] Nat gcd(Nat a, Nat b);
+
+/// a^{-1} mod m for gcd(a, m) == 1; std::nullopt otherwise. m > 1.
+[[nodiscard]] std::optional<Nat> invmod(const Nat& a, const Nat& m);
+
+/// base^e mod m for arbitrary m > 0 (uses Montgomery when m is odd).
+[[nodiscard]] Nat powmod(const Nat& base, const Nat& e, const Nat& m);
+
+/// Jacobi symbol (a/n) for odd n > 0; returns -1, 0 or +1.
+[[nodiscard]] int jacobi(Nat a, Nat n);
+
+/// Square root of a modulo an odd prime p, if one exists (Tonelli–Shanks).
+[[nodiscard]] std::optional<Nat> sqrtmod(const Nat& a, const Nat& p);
+
+/// Barrett reduction context: amortizes division by a fixed modulus.
+class BarrettCtx {
+ public:
+  explicit BarrettCtx(Nat modulus);
+
+  [[nodiscard]] const Nat& modulus() const { return m_; }
+  /// a mod m for a < m^2.
+  [[nodiscard]] Nat reduce(const Nat& a) const;
+
+ private:
+  Nat m_;
+  Nat mu_;          // floor(2^(2*64k) / m)
+  std::size_t k_;   // limbs of m
+};
+
+}  // namespace ppgr::mpz

@@ -1,0 +1,112 @@
+#include "mpz/mont.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace ppgr::mpz {
+
+namespace {
+using U128 = unsigned __int128;
+
+// -x^{-1} mod 2^64 for odd x, by Newton iteration.
+Limb neg_inv64(Limb x) {
+  Limb inv = x;  // 3-bit correct seed for odd x
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;  // negate mod 2^64
+}
+}  // namespace
+
+MontCtx::MontCtx(Nat modulus) : m_(std::move(modulus)) {
+  if (m_.is_even() || m_ <= Nat{1})
+    throw std::invalid_argument("MontCtx: modulus must be odd and > 1");
+  k_ = m_.limb_count();
+  n0inv_ = neg_inv64(m_.limb(0));
+  r_mod_m_ = Nat::pow2(64 * k_) % m_;
+  rr_ = Nat::pow2(128 * k_) % m_;
+}
+
+Nat MontCtx::redc(std::vector<Limb> t) const {
+  // t has up to 2k (+1 scratch) limbs; reduce in place.
+  t.resize(2 * k_ + 1, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const Limb u = t[i] * n0inv_;
+    Limb carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const U128 s = static_cast<U128>(u) * m_.limb(j) + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    // Propagate carry.
+    std::size_t idx = i + k_;
+    while (carry != 0) {
+      const U128 s = static_cast<U128>(t[idx]) + carry;
+      t[idx] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+      ++idx;
+    }
+  }
+  std::vector<Limb> hi(t.begin() + static_cast<std::ptrdiff_t>(k_), t.end());
+  Nat out = Nat::from_limbs(std::move(hi));
+  if (out >= m_) out = Nat::sub(out, m_);
+  return out;
+}
+
+Nat MontCtx::to_mont(const Nat& a) const { return mul(a, rr_); }
+
+Nat MontCtx::from_mont(const Nat& a) const {
+  std::vector<Limb> t(a.limbs());
+  return redc(std::move(t));
+}
+
+Nat MontCtx::mul(const Nat& a, const Nat& b) const {
+  Nat prod = Nat::mul(a, b);
+  std::vector<Limb> t(prod.limbs());
+  return redc(std::move(t));
+}
+
+Nat MontCtx::add(const Nat& a, const Nat& b) const {
+  Nat s = Nat::add(a, b);
+  if (s >= m_) s = Nat::sub(s, m_);
+  return s;
+}
+
+Nat MontCtx::sub(const Nat& a, const Nat& b) const {
+  if (a >= b) return Nat::sub(a, b);
+  return Nat::sub(Nat::add(a, m_), b);
+}
+
+Nat MontCtx::exp(const Nat& base, const Nat& e) const {
+  if (e.is_zero()) return r_mod_m_;
+  // 4-bit fixed window.
+  std::array<Nat, 16> table;
+  table[0] = r_mod_m_;
+  table[1] = base;
+  for (std::size_t i = 2; i < 16; ++i) table[i] = mul(table[i - 1], base);
+
+  const std::size_t nbits = e.bit_length();
+  const std::size_t windows = (nbits + 3) / 4;
+  Nat acc = r_mod_m_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      acc = sqr(acc);
+      acc = sqr(acc);
+      acc = sqr(acc);
+      acc = sqr(acc);
+    }
+    std::size_t nib = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t bit_idx = w * 4 + b;
+      if (bit_idx < nbits && e.bit(bit_idx)) nib |= (1u << b);
+    }
+    if (nib != 0) {
+      acc = started ? mul(acc, table[nib]) : table[nib];
+      started = true;
+    } else if (!started) {
+      continue;  // skip leading zero windows entirely
+    }
+  }
+  return started ? acc : r_mod_m_;
+}
+
+}  // namespace ppgr::mpz

@@ -1,0 +1,52 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// All heavy modular work in the library (Schnorr groups, elliptic-curve field
+// arithmetic, ElGamal) runs through this context. Values passed to mul/exp
+// are in Montgomery form; convert with to_mont/from_mont.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpz/nat.h"
+
+namespace ppgr::mpz {
+
+class MontCtx {
+ public:
+  /// Modulus must be odd and > 1; throws std::invalid_argument otherwise.
+  explicit MontCtx(Nat modulus);
+
+  [[nodiscard]] const Nat& modulus() const { return m_; }
+  /// Number of limbs of the modulus (the Montgomery "k").
+  [[nodiscard]] std::size_t limbs() const { return k_; }
+
+  /// a*R mod m (a must be < m).
+  [[nodiscard]] Nat to_mont(const Nat& a) const;
+  /// a/R mod m.
+  [[nodiscard]] Nat from_mont(const Nat& a) const;
+  /// Montgomery product: a*b/R mod m (both in Montgomery form).
+  [[nodiscard]] Nat mul(const Nat& a, const Nat& b) const;
+  /// Montgomery square.
+  [[nodiscard]] Nat sqr(const Nat& a) const { return mul(a, a); }
+  /// Modular addition of Montgomery-form values.
+  [[nodiscard]] Nat add(const Nat& a, const Nat& b) const;
+  /// Modular subtraction of Montgomery-form values.
+  [[nodiscard]] Nat sub(const Nat& a, const Nat& b) const;
+  /// base^e mod m, base in Montgomery form, e a plain Nat; 4-bit window.
+  [[nodiscard]] Nat exp(const Nat& base, const Nat& e) const;
+
+  /// 1 in Montgomery form (== R mod m).
+  [[nodiscard]] const Nat& one_mont() const { return r_mod_m_; }
+
+ private:
+  [[nodiscard]] Nat redc(std::vector<Limb> t) const;
+
+  Nat m_;
+  std::size_t k_;
+  Limb n0inv_;     // -m^{-1} mod 2^64
+  Nat rr_;         // R^2 mod m
+  Nat r_mod_m_;    // R mod m
+};
+
+}  // namespace ppgr::mpz

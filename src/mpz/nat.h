@@ -1,0 +1,136 @@
+// Arbitrary-precision unsigned integers ("naturals").
+//
+// This is the foundational substrate of the ppgr library: every group,
+// cryptosystem and protocol in the repository is built on top of Nat.
+// Limbs are 64-bit, stored little-endian, and always normalized (no leading
+// zero limbs; the value zero is the empty limb vector).
+//
+// Design notes
+//  - Value semantics throughout; cheap moves.
+//  - Multiplication switches from schoolbook to Karatsuba above a threshold.
+//  - Division is Knuth's Algorithm D with 128-bit trial quotients.
+//  - Subtraction requires lhs >= rhs (checked); signed arithmetic lives in
+//    Int (sint.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppgr::mpz {
+
+using Limb = std::uint64_t;
+
+class Nat {
+ public:
+  /// Zero.
+  Nat() = default;
+  /// From a single machine word.
+  Nat(Limb v);  // NOLINT(google-explicit-constructor): deliberate, ergonomic
+  /// From raw limbs, little-endian; normalizes.
+  static Nat from_limbs(std::vector<Limb> limbs);
+  /// Parse a hex string (no 0x prefix required, case-insensitive).
+  /// Throws std::invalid_argument on bad input.
+  static Nat from_hex(std::string_view hex);
+  /// Parse a decimal string. Throws std::invalid_argument on bad input.
+  static Nat from_dec(std::string_view dec);
+  /// Big-endian byte deserialization.
+  static Nat from_bytes_be(std::span<const std::uint8_t> bytes);
+  /// 2^k.
+  static Nat pow2(std::size_t k);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits; 0 for zero.
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of bit i (i >= bit_length() reads as 0).
+  [[nodiscard]] bool bit(std::size_t i) const;
+  /// Sets bit i to v, growing as needed.
+  void set_bit(std::size_t i, bool v);
+  /// Number of limbs (0 for zero).
+  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+  /// Limb i (i >= limb_count() reads as 0).
+  [[nodiscard]] Limb limb(std::size_t i) const {
+    return i < limbs_.size() ? limbs_[i] : 0;
+  }
+  [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+
+  /// Truncating conversion to a machine word (low 64 bits).
+  [[nodiscard]] Limb to_limb() const { return limbs_.empty() ? 0 : limbs_[0]; }
+  /// True iff the value fits in 64 bits.
+  [[nodiscard]] bool fits_limb() const { return limbs_.size() <= 1; }
+
+  /// Three-way compare: -1, 0, +1.
+  [[nodiscard]] static int cmp(const Nat& a, const Nat& b);
+
+  friend bool operator==(const Nat& a, const Nat& b) { return cmp(a, b) == 0; }
+  friend bool operator!=(const Nat& a, const Nat& b) { return cmp(a, b) != 0; }
+  friend bool operator<(const Nat& a, const Nat& b) { return cmp(a, b) < 0; }
+  friend bool operator<=(const Nat& a, const Nat& b) { return cmp(a, b) <= 0; }
+  friend bool operator>(const Nat& a, const Nat& b) { return cmp(a, b) > 0; }
+  friend bool operator>=(const Nat& a, const Nat& b) { return cmp(a, b) >= 0; }
+
+  [[nodiscard]] static Nat add(const Nat& a, const Nat& b);
+  /// Requires a >= b; throws std::domain_error otherwise.
+  [[nodiscard]] static Nat sub(const Nat& a, const Nat& b);
+  [[nodiscard]] static Nat mul(const Nat& a, const Nat& b);
+  /// Quotient and remainder; throws std::domain_error on division by zero.
+  struct DivRem;
+  [[nodiscard]] static DivRem divrem(const Nat& a, const Nat& b);
+
+  [[nodiscard]] Nat shl(std::size_t bits) const;
+  [[nodiscard]] Nat shr(std::size_t bits) const;
+
+  friend Nat operator+(const Nat& a, const Nat& b) { return add(a, b); }
+  friend Nat operator-(const Nat& a, const Nat& b) { return sub(a, b); }
+  friend Nat operator*(const Nat& a, const Nat& b) { return mul(a, b); }
+  friend Nat operator/(const Nat& a, const Nat& b);
+  friend Nat operator%(const Nat& a, const Nat& b);
+  friend Nat operator<<(const Nat& a, std::size_t k) { return a.shl(k); }
+  friend Nat operator>>(const Nat& a, std::size_t k) { return a.shr(k); }
+
+  Nat& operator+=(const Nat& b) { return *this = add(*this, b); }
+  Nat& operator-=(const Nat& b) { return *this = sub(*this, b); }
+  Nat& operator*=(const Nat& b) { return *this = mul(*this, b); }
+  Nat& operator%=(const Nat& b);
+
+  /// Bitwise ops (logical, on the common width).
+  [[nodiscard]] static Nat bit_and(const Nat& a, const Nat& b);
+  [[nodiscard]] static Nat bit_or(const Nat& a, const Nat& b);
+  [[nodiscard]] static Nat bit_xor(const Nat& a, const Nat& b);
+
+  /// Lowercase hex, no leading zeros ("0" for zero).
+  [[nodiscard]] std::string to_hex() const;
+  /// Decimal string.
+  [[nodiscard]] std::string to_dec() const;
+  /// Big-endian bytes, minimal length (empty for zero) unless width is given,
+  /// in which case the output is left-padded with zeros to exactly `width`
+  /// bytes (throws std::length_error if the value does not fit).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(std::size_t width = 0) const;
+
+  /// Karatsuba cutover, in limbs. Exposed for the ablation benchmark.
+  static constexpr std::size_t kKaratsubaThreshold = 24;
+
+ private:
+  void normalize();
+  static Nat mul_schoolbook(const Nat& a, const Nat& b);
+  static Nat mul_karatsuba(const Nat& a, const Nat& b);
+
+  std::vector<Limb> limbs_;
+};
+
+struct Nat::DivRem {
+  Nat quot;
+  Nat rem;
+};
+
+inline Nat operator/(const Nat& a, const Nat& b) { return Nat::divrem(a, b).quot; }
+inline Nat operator%(const Nat& a, const Nat& b) { return Nat::divrem(a, b).rem; }
+inline Nat& Nat::operator%=(const Nat& b) { return *this = divrem(*this, b).rem; }
+
+}  // namespace ppgr::mpz

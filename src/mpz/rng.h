@@ -1,0 +1,60 @@
+// Cryptographically-strong pseudo random number generation.
+//
+// ChaCha20 in counter mode, seedable either deterministically (tests,
+// reproducible benchmarks) or from the operating system. All randomness in
+// the library flows through the Rng interface so protocols can be replayed
+// bit-for-bit under test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "mpz/nat.h"
+
+namespace ppgr::mpz {
+
+/// Abstract source of random bytes. Implementations must be
+/// indistinguishable-from-random for the library's security arguments to
+/// carry over (Sec. III-B of the paper assumes a computationally bounded
+/// adversary).
+class Rng {
+ public:
+  virtual ~Rng() = default;
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) via rejection sampling; bound must be nonzero.
+  std::uint64_t below_u64(std::uint64_t bound);
+  /// Uniform Nat with exactly `bits` random bits (top bit may be 0).
+  Nat bits(std::size_t bits);
+  /// Uniform Nat in [0, bound) via rejection sampling; bound must be nonzero.
+  Nat below(const Nat& bound);
+  /// Uniform Nat in [1, bound).
+  Nat nonzero_below(const Nat& bound);
+  /// Uniform random bool.
+  bool coin() { return next_u64() & 1u; }
+};
+
+/// ChaCha20-based deterministic RNG (RFC 8439 block function).
+class ChaChaRng final : public Rng {
+ public:
+  /// Deterministic: expands a 64-bit seed into the 256-bit key.
+  explicit ChaChaRng(std::uint64_t seed);
+  /// Full 256-bit key.
+  explicit ChaChaRng(const std::array<std::uint8_t, 32>& key);
+  /// Seeded from the operating system (/dev/urandom).
+  static ChaChaRng from_os();
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t pos_ = 64;  // exhausted
+};
+
+}  // namespace ppgr::mpz

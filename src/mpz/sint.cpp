@@ -1,0 +1,74 @@
+#include "mpz/sint.h"
+
+#include <stdexcept>
+
+namespace ppgr::mpz {
+
+Int::Int(std::int64_t v) {
+  if (v < 0) {
+    neg_ = true;
+    // Avoid UB on INT64_MIN.
+    mag_ = Nat{static_cast<Limb>(~static_cast<std::uint64_t>(v) + 1)};
+  } else {
+    mag_ = Nat{static_cast<Limb>(v)};
+  }
+}
+
+Int::Int(Nat magnitude, bool negative)
+    : mag_(std::move(magnitude)), neg_(negative && !mag_.is_zero()) {}
+
+Int Int::from_dec(std::string_view dec) {
+  bool neg = false;
+  if (!dec.empty() && (dec.front() == '-' || dec.front() == '+')) {
+    neg = dec.front() == '-';
+    dec.remove_prefix(1);
+  }
+  return Int{Nat::from_dec(dec), neg};
+}
+
+int Int::cmp(const Int& a, const Int& b) {
+  if (a.neg_ != b.neg_) return a.neg_ ? -1 : 1;
+  const int m = Nat::cmp(a.mag_, b.mag_);
+  return a.neg_ ? -m : m;
+}
+
+Int operator+(const Int& a, const Int& b) {
+  if (a.neg_ == b.neg_) return Int{Nat::add(a.mag_, b.mag_), a.neg_};
+  const int m = Nat::cmp(a.mag_, b.mag_);
+  if (m == 0) return Int{};
+  if (m > 0) return Int{Nat::sub(a.mag_, b.mag_), a.neg_};
+  return Int{Nat::sub(b.mag_, a.mag_), b.neg_};
+}
+
+Int operator-(const Int& a, const Int& b) { return a + b.negated(); }
+
+Int operator*(const Int& a, const Int& b) {
+  return Int{Nat::mul(a.mag_, b.mag_), a.neg_ != b.neg_};
+}
+
+Int::DivRem Int::divrem(const Int& a, const Int& b) {
+  auto [q, r] = Nat::divrem(a.mag_, b.mag_);
+  return {Int{std::move(q), a.neg_ != b.neg_}, Int{std::move(r), a.neg_}};
+}
+
+Nat Int::mod(const Nat& modulus) const {
+  const Nat r = Nat::divrem(mag_, modulus).rem;
+  if (!neg_ || r.is_zero()) return r;
+  return Nat::sub(modulus, r);
+}
+
+std::string Int::to_dec() const {
+  return neg_ ? "-" + mag_.to_dec() : mag_.to_dec();
+}
+
+std::int64_t Int::to_i64() const {
+  if (mag_.bit_length() > 63) {
+    // Allow exactly INT64_MIN.
+    if (neg_ && mag_ == Nat::pow2(63)) return INT64_MIN;
+    throw std::overflow_error("Int::to_i64: value does not fit");
+  }
+  const auto v = static_cast<std::int64_t>(mag_.to_limb());
+  return neg_ ? -v : v;
+}
+
+}  // namespace ppgr::mpz

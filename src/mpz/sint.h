@@ -1,0 +1,74 @@
+// Arbitrary-precision signed integers: a sign-and-magnitude wrapper over Nat.
+//
+// Used wherever protocol values can be negative: partial gains (Def. 1 of the
+// paper), the extended Euclidean algorithm, and the signed<->unsigned l-bit
+// conversion of Sec. III-A.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpz/nat.h"
+
+namespace ppgr::mpz {
+
+class Int {
+ public:
+  Int() = default;
+  Int(std::int64_t v);  // NOLINT(google-explicit-constructor)
+  /// From a magnitude and a sign (negative=true). Zero is always positive.
+  Int(Nat magnitude, bool negative);
+  /// Non-negative value from a Nat.
+  static Int from_nat(Nat n) { return Int{std::move(n), false}; }
+  static Int from_dec(std::string_view dec);
+
+  [[nodiscard]] bool is_zero() const { return mag_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return neg_; }
+  [[nodiscard]] const Nat& magnitude() const { return mag_; }
+
+  /// Three-way compare.
+  [[nodiscard]] static int cmp(const Int& a, const Int& b);
+
+  friend bool operator==(const Int& a, const Int& b) { return cmp(a, b) == 0; }
+  friend bool operator!=(const Int& a, const Int& b) { return cmp(a, b) != 0; }
+  friend bool operator<(const Int& a, const Int& b) { return cmp(a, b) < 0; }
+  friend bool operator<=(const Int& a, const Int& b) { return cmp(a, b) <= 0; }
+  friend bool operator>(const Int& a, const Int& b) { return cmp(a, b) > 0; }
+  friend bool operator>=(const Int& a, const Int& b) { return cmp(a, b) >= 0; }
+
+  friend Int operator+(const Int& a, const Int& b);
+  friend Int operator-(const Int& a, const Int& b);
+  friend Int operator*(const Int& a, const Int& b);
+  [[nodiscard]] Int negated() const { return Int{mag_, !neg_}; }
+  friend Int operator-(const Int& a) { return a.negated(); }
+
+  Int& operator+=(const Int& b) { return *this = *this + b; }
+  Int& operator-=(const Int& b) { return *this = *this - b; }
+  Int& operator*=(const Int& b) { return *this = *this * b; }
+
+  /// Truncated division (C semantics): quot rounds toward zero,
+  /// rem has the sign of the dividend.
+  struct DivRem;
+  [[nodiscard]] static DivRem divrem(const Int& a, const Int& b);
+
+  /// Euclidean (always non-negative) remainder mod a positive modulus.
+  [[nodiscard]] Nat mod(const Nat& modulus) const;
+
+  /// Signed decimal string.
+  [[nodiscard]] std::string to_dec() const;
+
+  /// Truncating conversion to int64 (low bits, sign applied). Throws
+  /// std::overflow_error if the value does not fit.
+  [[nodiscard]] std::int64_t to_i64() const;
+
+ private:
+  Nat mag_;
+  bool neg_ = false;  // invariant: !neg_ when mag_ is zero
+};
+
+struct Int::DivRem {
+  Int quot;
+  Int rem;
+};
+
+}  // namespace ppgr::mpz

@@ -1,0 +1,123 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace ppgr::net {
+
+namespace {
+
+struct PacketEvent {
+  double time;          // arrival at the head of its next link
+  std::size_t packet;   // packet index
+  std::size_t hop;      // index into the packet's path
+  bool operator>(const PacketEvent& o) const { return time > o.time; }
+};
+
+struct Packet {
+  const std::vector<std::size_t>* path;  // edge indices
+  std::size_t src;                       // traversal origin (fixes direction)
+  std::size_t bytes;
+  double delivered = -1.0;
+};
+
+}  // namespace
+
+Simulator::Simulator(const Topology& topo, SimulatorConfig config)
+    : topo_(topo), cfg_(config) {
+  if (cfg_.bandwidth_bps <= 0 || cfg_.latency_s < 0 || cfg_.mtu_bytes == 0)
+    throw std::invalid_argument("Simulator: bad config");
+}
+
+SimulationResult Simulator::replay(std::span<const runtime::Transfer> trace,
+                                   std::span<const std::size_t> node_of) {
+  for (const auto& t : trace) {
+    if (t.src >= node_of.size() || t.dst >= node_of.size())
+      throw std::invalid_argument("Simulator::replay: party id out of range");
+  }
+
+  // Group transfers by round (rounds may be sparse).
+  std::size_t max_round = 0;
+  for (const auto& t : trace) max_round = std::max(max_round, t.round);
+  std::vector<std::vector<const runtime::Transfer*>> by_round(max_round + 1);
+  for (const auto& t : trace) by_round[t.round].push_back(&t);
+
+  SimulationResult result;
+  // Per-direction link occupancy: 2 entries per undirected edge.
+  std::vector<double> link_free(2 * topo_.edges().size(), 0.0);
+  double clock = 0.0;
+
+  for (const auto& round : by_round) {
+    if (round.empty()) {
+      result.round_seconds.push_back(0.0);
+      continue;
+    }
+    // Round barrier: reset link availability to the round start (everything
+    // from the previous round has drained).
+    std::fill(link_free.begin(), link_free.end(), clock);
+
+    // Build packets.
+    std::vector<Packet> packets;
+    std::priority_queue<PacketEvent, std::vector<PacketEvent>,
+                        std::greater<PacketEvent>>
+        events;
+    for (const runtime::Transfer* t : round) {
+      const std::size_t src_node = node_of[t->src];
+      const std::size_t dst_node = node_of[t->dst];
+      if (src_node == dst_node) continue;  // co-located: free
+      const auto& path = topo_.path(src_node, dst_node);
+      const std::size_t payload = cfg_.mtu_bytes - cfg_.header_bytes;
+      const std::size_t n_packets = (t->bytes + payload - 1) / payload;
+      for (std::size_t p = 0; p < n_packets; ++p) {
+        const std::size_t body =
+            std::min(payload, t->bytes - p * payload) + cfg_.header_bytes;
+        packets.push_back(Packet{&path, src_node, body});
+        events.push(PacketEvent{clock, packets.size() - 1, 0});
+      }
+    }
+    result.packets += packets.size();
+
+    double round_end = clock;
+    while (!events.empty()) {
+      const PacketEvent ev = events.top();
+      events.pop();
+      Packet& pkt = packets[ev.packet];
+      const std::size_t edge_idx = (*pkt.path)[ev.hop];
+      const Edge& e = topo_.edges()[edge_idx];
+      // Determine traversal direction by walking the path from the packet's
+      // source: the node we're currently at.
+      std::size_t at = pkt.src;
+      for (std::size_t h = 0; h < ev.hop; ++h) {
+        const Edge& prev = topo_.edges()[(*pkt.path)[h]];
+        at = (prev.a == at) ? prev.b : prev.a;
+      }
+      const bool forward = (e.a == at);
+      double& free_at = link_free[2 * edge_idx + (forward ? 0 : 1)];
+      const double tx = static_cast<double>(pkt.bytes) * 8.0 / cfg_.bandwidth_bps;
+      const double depart = std::max(ev.time, free_at);
+      free_at = depart + tx;
+      const double arrive = depart + tx + cfg_.latency_s;
+      if (ev.hop + 1 == pkt.path->size()) {
+        pkt.delivered = arrive;
+        round_end = std::max(round_end, arrive);
+      } else {
+        events.push(PacketEvent{arrive, ev.packet, ev.hop + 1});
+      }
+    }
+    result.round_seconds.push_back(round_end - clock);
+    clock = round_end;
+  }
+  result.total_seconds = clock;
+  return result;
+}
+
+double Simulator::send_once(std::size_t src_node, std::size_t dst_node,
+                            std::size_t bytes) {
+  const runtime::Transfer t{0, 0, 1, bytes};
+  const std::size_t nodes[] = {src_node, dst_node};
+  return replay(std::span{&t, 1}, nodes).total_seconds;
+}
+
+}  // namespace ppgr::net

@@ -1,0 +1,55 @@
+// Discrete-event store-and-forward packet network simulator.
+//
+// Stand-in for the paper's NS2 setup (Sec. VII): messages are chopped into
+// MTU-sized packets, every (undirected) link transmits one packet at a time
+// per direction at the configured bandwidth, packets queue FIFO behind the
+// link, and each hop adds the propagation latency. Routing is hop-count
+// shortest path (all links identical). Protocol rounds are synchronous: the
+// packets of round k enter the network only after every packet of round k-1
+// has been delivered — matching how the frameworks actually block on their
+// predecessors' messages.
+//
+// This intentionally simplifies TCP to deterministic FIFO serialization: the
+// phenomenon Fig. 3(b) demonstrates (many small rounds lose to few bulk
+// transfers once latency and congestion matter) is a property of the
+// bandwidth/latency arithmetic, not of TCP dynamics. See DESIGN.md.
+#pragma once
+
+#include "net/topology.h"
+#include "runtime/trace.h"
+
+namespace ppgr::net {
+
+struct SimulatorConfig {
+  double bandwidth_bps = 2e6;  // 2 Mbps, per direction (duplex)
+  double latency_s = 0.05;     // 50 ms per hop
+  std::size_t mtu_bytes = 1500;
+  std::size_t header_bytes = 40;  // IP+TCP header per packet
+};
+
+struct SimulationResult {
+  double total_seconds = 0.0;
+  std::vector<double> round_seconds;  // duration of each logical round
+  std::size_t packets = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Topology& topo, SimulatorConfig config);
+
+  /// Replays a recorded protocol trace. node_of[party] maps party ids to
+  /// topology nodes (must be injective).
+  [[nodiscard]] SimulationResult replay(
+      std::span<const runtime::Transfer> trace,
+      std::span<const std::size_t> node_of);
+
+  /// Convenience: one message, returns delivery latency from an idle start.
+  [[nodiscard]] double send_once(std::size_t src_node, std::size_t dst_node,
+                                 std::size_t bytes);
+
+ private:
+  const Topology& topo_;
+  SimulatorConfig cfg_;
+};
+
+}  // namespace ppgr::net

@@ -1,0 +1,118 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ppgr::net {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}
+
+bool Topology::connected(std::size_t n, const std::vector<Edge>& edges,
+                         std::size_t skip_edge) {
+  if (n == 0) return false;
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i == skip_edge) continue;
+    adj[edges[i].a].push_back(edges[i].b);
+    adj[edges[i].b].push_back(edges[i].a);
+  }
+  std::vector<bool> seen(n, false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (const std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+Topology::Topology(std::size_t nodes, std::vector<Edge> edges)
+    : n_(nodes), edges_(std::move(edges)) {
+  for (auto& e : edges_) {
+    if (e.a > e.b) std::swap(e.a, e.b);
+    if (e.b >= n_ || e.a == e.b)
+      throw std::invalid_argument("Topology: bad edge");
+  }
+  if (!connected(n_, edges_, kNone))
+    throw std::invalid_argument("Topology: graph is disconnected");
+
+  // BFS from every node; record predecessor edge, then unwind paths.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n_);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    adj[edges_[i].a].emplace_back(edges_[i].b, i);
+    adj[edges_[i].b].emplace_back(edges_[i].a, i);
+  }
+  paths_.assign(n_ * n_, {});
+  for (std::size_t src = 0; src < n_; ++src) {
+    std::vector<std::size_t> pred_edge(n_, kNone), pred_node(n_, kNone);
+    std::vector<bool> seen(n_, false);
+    std::queue<std::size_t> frontier;
+    frontier.push(src);
+    seen[src] = true;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (const auto& [v, eidx] : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          pred_edge[v] = eidx;
+          pred_node[v] = u;
+          frontier.push(v);
+        }
+      }
+    }
+    for (std::size_t dst = 0; dst < n_; ++dst) {
+      if (dst == src) continue;
+      std::vector<std::size_t>& p = paths_[src * n_ + dst];
+      std::size_t cur = dst;
+      while (cur != src) {
+        p.push_back(pred_edge[cur]);
+        cur = pred_node[cur];
+      }
+      std::reverse(p.begin(), p.end());
+    }
+  }
+}
+
+Topology Topology::random_connected(std::size_t nodes,
+                                    std::size_t target_edges, Rng& rng) {
+  if (nodes < 2) throw std::invalid_argument("random_connected: need >= 2 nodes");
+  const std::size_t complete = nodes * (nodes - 1) / 2;
+  if (target_edges < nodes - 1 || target_edges > complete)
+    throw std::invalid_argument("random_connected: infeasible edge count");
+  std::vector<Edge> edges;
+  edges.reserve(complete);
+  for (std::size_t a = 0; a < nodes; ++a)
+    for (std::size_t b = a + 1; b < nodes; ++b) edges.push_back(Edge{a, b});
+
+  // Delete random edges that do not disconnect the graph (the paper's
+  // procedure). A candidate that would disconnect is skipped and retried.
+  while (edges.size() > target_edges) {
+    const std::size_t candidate = rng.below_u64(edges.size());
+    if (connected(nodes, edges, candidate)) {
+      edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(candidate));
+    }
+  }
+  return Topology{nodes, std::move(edges)};
+}
+
+const std::vector<std::size_t>& Topology::path(std::size_t a,
+                                               std::size_t b) const {
+  if (a >= n_ || b >= n_ || a == b)
+    throw std::invalid_argument("Topology::path: bad endpoints");
+  return paths_[a * n_ + b];
+}
+
+}  // namespace ppgr::net

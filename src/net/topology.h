@@ -1,0 +1,61 @@
+// Network topology for the discrete-event simulator.
+//
+// The paper's Fig. 3(b) experiment runs on "a randomly generated network"
+// built by deleting edges from an 80-node complete graph until 320 remain,
+// never disconnecting the graph, each remaining link being a 2 Mbps duplex
+// link with 50 ms latency. Topology reproduces exactly that construction and
+// provides the shortest-path routing (hop-count; all links are identical)
+// used by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpz/rng.h"
+
+namespace ppgr::net {
+
+using mpz::Rng;
+
+struct Edge {
+  std::size_t a;
+  std::size_t b;  // a < b
+};
+
+class Topology {
+ public:
+  /// Explicit edge list over `nodes` vertices; throws if disconnected or if
+  /// any endpoint is out of range.
+  Topology(std::size_t nodes, std::vector<Edge> edges);
+
+  /// The paper's construction: start from the complete graph on `nodes`
+  /// vertices, repeatedly delete a random edge whose removal keeps the graph
+  /// connected, until `target_edges` remain.
+  static Topology random_connected(std::size_t nodes, std::size_t target_edges,
+                                   Rng& rng);
+
+  [[nodiscard]] std::size_t nodes() const { return n_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Hop-count shortest path from a to b as a sequence of *directed edge
+  /// indices* into edges() (each index identifies the undirected link; the
+  /// traversal direction is implied by walking from a). Precomputed via BFS.
+  [[nodiscard]] const std::vector<std::size_t>& path(std::size_t a,
+                                                     std::size_t b) const;
+  /// Hop distance.
+  [[nodiscard]] std::size_t distance(std::size_t a, std::size_t b) const {
+    return path(a, b).size();
+  }
+
+ private:
+  [[nodiscard]] static bool connected(std::size_t n,
+                                      const std::vector<Edge>& edges,
+                                      std::size_t skip_edge);
+
+  std::size_t n_;
+  std::vector<Edge> edges_;
+  // paths_[a * n + b] = edge indices along a shortest a->b path.
+  std::vector<std::vector<std::size_t>> paths_;
+};
+
+}  // namespace ppgr::net

@@ -1,0 +1,74 @@
+#include "runtime/trace.h"
+
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+namespace ppgr::runtime {
+
+void TraceRecorder::record(std::size_t src, std::size_t dst,
+                           std::size_t bytes) {
+  if (src == dst)
+    throw std::invalid_argument("TraceRecorder: src == dst");
+  transfers_.push_back(Transfer{current_round_, src, dst, bytes});
+}
+
+void TraceRecorder::next_round() { ++current_round_; }
+
+std::size_t TraceRecorder::rounds() const {
+  std::set<std::size_t> distinct;
+  for (const auto& t : transfers_) distinct.insert(t.round);
+  return distinct.size();
+}
+
+std::size_t TraceRecorder::total_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& t : transfers_) sum += t.bytes;
+  return sum;
+}
+
+std::size_t TraceRecorder::bytes_sent_by(std::size_t party) const {
+  std::size_t sum = 0;
+  for (const auto& t : transfers_)
+    if (t.src == party) sum += t.bytes;
+  return sum;
+}
+
+std::size_t TraceRecorder::bytes_received_by(std::size_t party) const {
+  std::size_t sum = 0;
+  for (const auto& t : transfers_)
+    if (t.dst == party) sum += t.bytes;
+  return sum;
+}
+
+void TraceRecorder::clear() {
+  transfers_.clear();
+  current_round_ = 0;
+}
+
+double PartyTimer::now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+PartyTimer::Scope::Scope(PartyTimer& timer, std::size_t party)
+    : timer_(timer), party_(party), start_(now_seconds()) {}
+
+PartyTimer::Scope::~Scope() { timer_.add(party_, now_seconds() - start_); }
+
+double PartyTimer::max_participant_seconds() const {
+  double best = 0.0;
+  for (std::size_t i = 1; i < seconds_.size(); ++i)
+    best = std::max(best, seconds_[i]);
+  return best;
+}
+
+double PartyTimer::mean_participant_seconds() const {
+  if (seconds_.size() <= 1) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < seconds_.size(); ++i) sum += seconds_[i];
+  return sum / static_cast<double>(seconds_.size() - 1);
+}
+
+}  // namespace ppgr::runtime

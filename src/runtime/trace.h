@@ -1,0 +1,89 @@
+// Communication trace recording.
+//
+// Protocols in this library execute in synchronous logical rounds. While a
+// protocol runs (in-process), every message is recorded as a Transfer
+// (round, src, dst, bytes). The trace is the bridge to the network
+// simulator: bench/fig3b_network replays recorded traces through net::
+// Simulator to measure wall-clock communication time on the paper's 80-node
+// topology, exactly as the paper ran its frameworks through NS2.
+//
+// Party ids: 0 is the initiator P0, 1..n are participants P1..Pn (paper
+// notation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppgr::runtime {
+
+struct Transfer {
+  std::size_t round;
+  std::size_t src;
+  std::size_t dst;
+  std::size_t bytes;
+};
+
+class TraceRecorder {
+ public:
+  /// Records a message in the current round.
+  void record(std::size_t src, std::size_t dst, std::size_t bytes);
+  /// Closes the current round; subsequent records belong to the next one.
+  /// (Empty rounds are allowed and preserved.)
+  void next_round();
+
+  [[nodiscard]] const std::vector<Transfer>& transfers() const {
+    return transfers_;
+  }
+  /// Number of rounds that contain at least one message.
+  [[nodiscard]] std::size_t rounds() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t bytes_sent_by(std::size_t party) const;
+  [[nodiscard]] std::size_t bytes_received_by(std::size_t party) const;
+  [[nodiscard]] std::size_t message_count() const { return transfers_.size(); }
+
+  void clear();
+
+ private:
+  std::vector<Transfer> transfers_;
+  std::size_t current_round_ = 0;
+};
+
+/// Accumulates computation time per party. The framework orchestrator brackets
+/// each party-local computation with start/stop; the benches report the
+/// maximum / per-participant values the paper plots.
+class PartyTimer {
+ public:
+  explicit PartyTimer(std::size_t n_parties) : seconds_(n_parties, 0.0) {}
+
+  /// RAII bracket for one party's local computation.
+  class Scope {
+   public:
+    Scope(PartyTimer& timer, std::size_t party);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PartyTimer& timer_;
+    std::size_t party_;
+    double start_;
+  };
+
+  [[nodiscard]] Scope time(std::size_t party) { return Scope{*this, party}; }
+  void add(std::size_t party, double seconds) { seconds_.at(party) += seconds; }
+
+  [[nodiscard]] double seconds(std::size_t party) const {
+    return seconds_.at(party);
+  }
+  [[nodiscard]] std::size_t parties() const { return seconds_.size(); }
+  /// Max over participants (excluding party 0, the initiator).
+  [[nodiscard]] double max_participant_seconds() const;
+  /// Mean over participants (excluding party 0).
+  [[nodiscard]] double mean_participant_seconds() const;
+
+ private:
+  static double now_seconds();
+  std::vector<double> seconds_;
+};
+
+}  // namespace ppgr::runtime

@@ -1,0 +1,78 @@
+// Byte-oriented wire format for protocol messages.
+//
+// Deployments of the framework run parties on separate machines; everything
+// a party sends must have a canonical byte encoding. This module provides
+// the primitive Writer/Reader (little-endian fixed integers, LEB128
+// varints, length-prefixed byte strings and Nat values) used by the codec
+// functions next to each message type (crypto/codec.h, core/codec.h). The
+// trace recorder's byte accounting is cross-checked against these encodings
+// by tests/wire_test.cpp.
+//
+// Format invariants:
+//  - all lengths are varints; values up to 2^64-1;
+//  - Nat is a varint length followed by big-endian magnitude bytes
+//    (minimal: no leading zero byte);
+//  - readers validate eagerly and throw WireError on truncation or
+//    non-canonical input; a Reader must be fully consumed (finish()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpz/nat.h"
+
+namespace ppgr::runtime {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128.
+  void varint(std::uint64_t v);
+  /// Length-prefixed bytes.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Raw bytes, no length prefix (fixed-size fields).
+  void raw(std::span<const std::uint8_t> data);
+  void nat(const mpz::Nat& n);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+  [[nodiscard]] std::vector<std::uint8_t> raw(std::size_t len);
+  [[nodiscard]] mpz::Nat nat();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws WireError if any input is left unconsumed.
+  void finish() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppgr::runtime

@@ -1,0 +1,294 @@
+#include "sss/mpc_engine.h"
+
+#include <stdexcept>
+
+namespace ppgr::sss {
+
+MpcCosts& MpcCosts::operator+=(const MpcCosts& o) {
+  mults += o.mults;
+  opens += o.opens;
+  deals += o.deals;
+  rounds += o.rounds;
+  bytes += o.bytes;
+  rand_bits += o.rand_bits;
+  comparisons += o.comparisons;
+  return *this;
+}
+
+MpcCosts operator-(MpcCosts a, const MpcCosts& b) {
+  a.mults -= b.mults;
+  a.opens -= b.opens;
+  a.deals -= b.deals;
+  a.rounds -= b.rounds;
+  a.bytes -= b.bytes;
+  a.rand_bits -= b.rand_bits;
+  a.comparisons -= b.comparisons;
+  return a;
+}
+
+MpcEngine::MpcEngine(const FpCtx& f, std::size_t n, std::size_t t, Rng& rng,
+                     Mode mode)
+    : f_(f), n_(n), t_(t), rng_(rng), mode_(mode) {
+  if (n < 2 || t == 0 || n < 2 * t + 1)
+    throw std::invalid_argument("MpcEngine: need n >= 2t+1, t >= 1");
+  std::vector<std::size_t> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = i + 1;
+  lambda_all_ = lagrange_at_zero(f_, xs);
+}
+
+void MpcEngine::charge_round(std::uint64_t messages) {
+  costs_.rounds += 1;
+  costs_.bytes += messages * ((f_.bits() + 7) / 8);
+}
+
+ShareVec MpcEngine::input(const Nat& secret) {
+  costs_.deals += 1;
+  charge_round(n_ - 1);
+  if (counting()) return {};
+  return share_secret(f_, secret, t_, n_, rng_);
+}
+
+ShareVec MpcEngine::constant(const Nat& value) const {
+  if (counting()) return {};
+  return ShareVec(n_, value);
+}
+
+Nat MpcEngine::open(const ShareVec& x) {
+  costs_.opens += 1;
+  charge_round(n_ * (n_ - 1));
+  if (counting()) return f_.zero();
+  return reconstruct(f_, x, t_);
+}
+
+ShareVec MpcEngine::add(const ShareVec& a, const ShareVec& b) const {
+  if (counting()) return {};
+  ShareVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = f_.add(a[i], b[i]);
+  return out;
+}
+
+ShareVec MpcEngine::sub(const ShareVec& a, const ShareVec& b) const {
+  if (counting()) return {};
+  ShareVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = f_.sub(a[i], b[i]);
+  return out;
+}
+
+ShareVec MpcEngine::add_const(const ShareVec& a, const Nat& c) const {
+  if (counting()) return {};
+  ShareVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = f_.add(a[i], c);
+  return out;
+}
+
+ShareVec MpcEngine::mul_const(const ShareVec& a, const Nat& c) const {
+  if (counting()) return {};
+  ShareVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = f_.mul(a[i], c);
+  return out;
+}
+
+ShareVec MpcEngine::neg(const ShareVec& a) const {
+  if (counting()) return {};
+  ShareVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = f_.neg(a[i]);
+  return out;
+}
+
+ShareVec MpcEngine::mul(const ShareVec& a, const ShareVec& b) {
+  const std::pair<ShareVec, ShareVec> p{a, b};
+  return mul_many(std::span{&p, 1})[0];
+}
+
+std::vector<ShareVec> MpcEngine::mul_many(
+    std::span<const std::pair<ShareVec, ShareVec>> pairs) {
+  // GRR: each party multiplies its shares locally (degree 2t), re-shares the
+  // product with degree t, and everyone recombines the sub-shares with the
+  // Lagrange coefficients for x=0 over points 1..n (n >= 2t+1 makes the
+  // degree-2t polynomial determined). One parallel round for the whole batch.
+  costs_.mults += pairs.size();
+  charge_round(pairs.size() * n_ * (n_ - 1));
+  std::vector<ShareVec> out;
+  out.reserve(pairs.size());
+  if (counting()) {
+    out.resize(pairs.size());
+    return out;
+  }
+  for (const auto& [a, b] : pairs) {
+    ShareVec result(n_, f_.zero());
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Nat di = f_.mul(a[i], b[i]);
+      const ShareVec sub = share_secret(f_, di, t_, n_, rng_);
+      for (std::size_t j = 0; j < n_; ++j)
+        result[j] = f_.add(result[j], f_.mul(lambda_all_[i], sub[j]));
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+ShareVec MpcEngine::rand_share() {
+  // Every party deals a random sharing; the sum is uniform and unknown to
+  // any t-subset.
+  costs_.deals += n_;
+  charge_round(n_ * (n_ - 1));
+  if (counting()) return {};
+  ShareVec acc(n_, f_.zero());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const ShareVec contrib = share_secret(f_, f_.random(rng_), t_, n_, rng_);
+    for (std::size_t j = 0; j < n_; ++j) acc[j] = f_.add(acc[j], contrib[j]);
+  }
+  return acc;
+}
+
+std::vector<ShareVec> MpcEngine::rand_bits_many(std::size_t k) {
+  // Square-root trick (Damgård et al.): r random, open r^2 (retry on 0),
+  // s = canonical sqrt of the opened square, b = (r/s + 1)/2.
+  costs_.rand_bits += k;
+  const Nat inv2 = f_.inv(f_.to(Nat{2}));
+  std::vector<ShareVec> bits(k);
+  // In counting mode assume first-try success (retry probability 1/p).
+  std::vector<ShareVec> rs(k);
+  std::vector<std::pair<ShareVec, ShareVec>> squares;
+  squares.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    rs[i] = rand_share();
+    squares.emplace_back(rs[i], rs[i]);
+  }
+  auto r2 = mul_many(squares);
+  for (std::size_t i = 0; i < k; ++i) {
+    Nat opened = open(r2[i]);
+    if (counting()) continue;
+    while (f_.is_zero(opened)) {  // r == 0: retry this one
+      rs[i] = rand_share();
+      opened = open(mul(rs[i], rs[i]));
+    }
+    const auto root = f_.sqrt(opened);
+    if (!root) throw std::logic_error("rand_bits_many: square has no root");
+    // Canonical root: the one with standard representative <= (p-1)/2, so
+    // all parties agree without communication.
+    Nat s = *root;
+    const Nat s_std = f_.from(s);
+    if (s_std > f_.p().shr(1)) s = f_.neg(s);
+    bits[i] = mul_const(add_const(mul_const(rs[i], f_.inv(s)), f_.one()), inv2);
+  }
+  return bits;
+}
+
+MpcEngine::BitwiseRandom MpcEngine::rand_bitwise() {
+  const std::size_t l = f_.bits();
+  for (;;) {
+    BitwiseRandom out;
+    out.bits = rand_bits_many(l);
+    if (!counting()) {
+      out.value = constant(f_.zero());
+      for (std::size_t i = 0; i < l; ++i) {
+        const Nat pow2 = f_.to(Nat::pow2(i));
+        out.value = add(out.value, mul_const(out.bits[i], pow2));
+      }
+    }
+    // Rejection: keep only r < p. [p-1 < r] must open to 0.
+    const Nat p_minus_1 = Nat::sub(f_.p(), Nat{1});
+    const ShareVec too_big = bit_lt_public(p_minus_1, out.bits);
+    const Nat flag = open(too_big);
+    if (counting()) return out;  // expected-case: first try accepted
+    if (f_.is_zero(flag)) return out;
+  }
+}
+
+ShareVec MpcEngine::bit_lt_public(const Nat& c,
+                                  std::span<const ShareVec> r_bits) {
+  const std::size_t l = r_bits.size();
+  // e_i = [r_i == c_i] (linear in r_i for public c_i);
+  // suffix_i = Π_{j>i} e_j; term_i = [r_i > c_i] * suffix_i;
+  // [c < r] = Σ term_i  (at most one term fires).
+  if (counting()) {
+    // Suffix chain: l-1 sequential multiplications; terms: one parallel
+    // round of at most l multiplications (only bits with c_i = 0 need one;
+    // charge the worst case so counts are data-independent).
+    for (std::size_t i = 0; i + 1 < l; ++i) (void)mul({}, {});
+    std::vector<std::pair<ShareVec, ShareVec>> batch(l);
+    (void)mul_many(batch);
+    return {};
+  }
+  std::vector<ShareVec> e(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    const bool ci = c.bit(i);
+    // e_i = 1 - r_i if c_i == 0, else r_i.
+    e[i] = ci ? r_bits[i]
+              : add_const(neg(r_bits[i]), f_.one());
+  }
+  // suffix[i] = Π_{j > i} e_j, suffix[l-1] = 1.
+  std::vector<ShareVec> suffix(l);
+  suffix[l - 1] = constant(f_.one());
+  for (std::size_t i = l - 1; i-- > 0;) suffix[i] = mul(suffix[i + 1], e[i + 1]);
+  // term_i = r_i * suffix_i where c_i == 0 (r_i > c_i possible only there);
+  // batch them in one parallel round (pad with dummies so the charged count
+  // matches the data-independent counting mode).
+  std::vector<std::pair<ShareVec, ShareVec>> batch;
+  for (std::size_t i = 0; i < l; ++i) {
+    // r_i > c_i is possible only where c_i == 0; multiply a zero dummy at
+    // the other positions so the charged count stays data-independent.
+    batch.emplace_back(c.bit(i) ? constant(f_.zero()) : r_bits[i], suffix[i]);
+  }
+  const auto terms = mul_many(batch);
+  ShareVec acc = constant(f_.zero());
+  for (std::size_t i = 0; i < l; ++i) {
+    if (!c.bit(i)) acc = add(acc, terms[i]);
+  }
+  return acc;
+}
+
+ShareVec MpcEngine::lsb(const ShareVec& x) {
+  // Open c = x + r with bitwise-known r; then x0 = c0 XOR r0 XOR [c < r]
+  // (p odd, so the wrap adds p which is odd).
+  const BitwiseRandom r = rand_bitwise();
+  if (counting()) {
+    (void)open({});  // the c opening
+    (void)bit_lt_public(f_.zero(), std::vector<ShareVec>(f_.bits()));
+    (void)mul({}, {});  // the final XOR
+    return {};
+  }
+  const Nat c = f_.from(open(add(x, r.value)));
+  const ShareVec wrap = bit_lt_public(c, r.bits);
+  // t1 = c0 XOR r0 (linear: c0 public).
+  const ShareVec t1 = c.bit(0) ? add_const(neg(r.bits[0]), f_.one()) : r.bits[0];
+  // x0 = t1 XOR wrap = t1 + wrap - 2*t1*wrap.
+  const ShareVec prod = mul(t1, wrap);
+  return sub(add(t1, wrap), mul_const(prod, f_.to(Nat{2})));
+}
+
+ShareVec MpcEngine::half_test(const ShareVec& x) {
+  // [x < p/2] = 1 - LSB(2x): doubling wraps (odd result) iff x >= p/2.
+  if (counting()) {
+    (void)lsb({});
+    return {};
+  }
+  return add_const(neg(lsb(mul_const(x, f_.to(Nat{2})))), f_.one());
+}
+
+ShareVec MpcEngine::less_than(const ShareVec& a, const ShareVec& b) {
+  costs_.comparisons += 1;
+  // Nishide–Ohta: three half-range tests,
+  //   w = [a < p/2], x = [b < p/2], y = [(a - b) mod p < p/2];
+  // [a < b] = (1-y)*(w*x + (1-w)*(1-x)) + w*(1-x).
+  const ShareVec w = half_test(a);
+  const ShareVec x = half_test(b);
+  if (counting()) {
+    (void)half_test({});
+    (void)mul({}, {});
+    (void)mul({}, {});
+    return {};
+  }
+  const ShareVec y = half_test(sub(a, b));
+  const ShareVec wx = mul(w, x);
+  // s = w*x + (1-w)*(1-x) = 1 - w - x + 2wx.
+  const ShareVec s = add_const(
+      add(neg(add(w, x)), mul_const(wx, f_.to(Nat{2}))), f_.one());
+  const ShareVec not_y = add_const(neg(y), f_.one());
+  const ShareVec first = mul(not_y, s);
+  const ShareVec w_not_x = sub(w, wx);
+  return add(first, w_not_x);
+}
+
+}  // namespace ppgr::sss

@@ -1,0 +1,84 @@
+#include "sss/mpc_sort.h"
+
+#include <stdexcept>
+
+namespace ppgr::sss {
+
+RankSortResult mpc_rank_sort(MpcEngine& engine, std::span<const Nat> values) {
+  const auto& f = engine.field();
+  const std::size_t n = values.size();
+  if (n == 0) throw std::invalid_argument("mpc_rank_sort: no values");
+  const bool counting = engine.mode() == MpcEngine::Mode::kCountOnly;
+  if (!counting) {
+    const Nat half = f.p().shr(1);
+    for (const Nat& v : values) {
+      if (v >= half)
+        throw std::invalid_argument(
+            "mpc_rank_sort: values must be < p/2 for comparisons");
+    }
+  }
+
+  const MpcCosts before = engine.costs();
+  RankSortResult out;
+  const auto net = batcher_network(n);
+  out.network_depth = net.size();
+  out.comparators = comparator_count(net);
+
+  // Share values and identity tags (tag i = i+1).
+  std::vector<ShareVec> vals(n), tags(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vals[i] = engine.input(counting ? f.zero() : f.to(values[i]));
+    tags[i] = engine.input(f.to(Nat{i + 1}));
+  }
+
+  // Measure the parallel rounds of one comparator (comparison + swap round)
+  // by metering the first one.
+  std::uint64_t rounds_per_comparator = 0;
+
+  for (const Layer& layer : net) {
+    for (const Comparator& c : layer) {
+      const std::uint64_t rounds_before = engine.costs().rounds;
+      // Descending comparator: put the larger element on the lo wire.
+      // swap_bit = [v_lo < v_hi]; then x += s*(other - x) on both wires for
+      // both the value and the tag (two multiplications, one round).
+      const ShareVec swap_bit = engine.less_than(vals[c.lo], vals[c.hi]);
+      if (counting) {
+        std::vector<std::pair<ShareVec, ShareVec>> batch(2);
+        (void)engine.mul_many(batch);
+      } else {
+        const ShareVec dv = engine.sub(vals[c.hi], vals[c.lo]);
+        const ShareVec dt = engine.sub(tags[c.hi], tags[c.lo]);
+        const std::pair<ShareVec, ShareVec> pairs[] = {{swap_bit, dv},
+                                                       {swap_bit, dt}};
+        const auto prods = engine.mul_many(pairs);
+        vals[c.lo] = engine.add(vals[c.lo], prods[0]);
+        vals[c.hi] = engine.sub(vals[c.hi], prods[0]);
+        tags[c.lo] = engine.add(tags[c.lo], prods[1]);
+        tags[c.hi] = engine.sub(tags[c.hi], prods[1]);
+      }
+      if (rounds_per_comparator == 0)
+        rounds_per_comparator = engine.costs().rounds - rounds_before;
+    }
+  }
+
+  // Open the tags: position i holds the (i+1)-th largest value's tag.
+  if (!counting) {
+    out.ranks.assign(n, 0);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const Nat tag = f.from(engine.open(tags[pos]));
+      if (!tag.fits_limb() || tag.to_limb() == 0 || tag.to_limb() > n)
+        throw std::logic_error("mpc_rank_sort: corrupt tag");
+      out.ranks[tag.to_limb() - 1] = pos + 1;
+    }
+  } else {
+    for (std::size_t pos = 0; pos < n; ++pos) (void)engine.open({});
+  }
+
+  out.costs = engine.costs() - before;
+  // All comparators of a layer run concurrently; tag openings are one
+  // parallel round; the 2n input deals are one more.
+  out.parallel_rounds = out.network_depth * rounds_per_comparator + 2;
+  return out;
+}
+
+}  // namespace ppgr::sss

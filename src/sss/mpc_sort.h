@@ -1,0 +1,45 @@
+// Multiparty rank sort over secret-shared values — the paper's "SS
+// framework" phase 2 (Sec. VII): the β values produced by the secure gain
+// computation are fed, secret-shared, into a Jónsson-style sorting network
+// built from Nishide–Ohta comparisons; each comparator conditionally swaps
+// both the shared value and a shared party tag, and after the network the
+// tags are opened position by position to yield the full ranking.
+//
+// Note the privacy contrast with the paper's own protocol: this baseline
+// reveals the entire ranking permutation to every party (tags in sorted
+// order), whereas the identity-unlinkable protocol reveals only each party's
+// own rank. That difference is intentional — it is the baseline the paper
+// measures against, not a privacy-equivalent alternative.
+#pragma once
+
+#include "sss/mpc_engine.h"
+#include "sss/sort_network.h"
+
+namespace ppgr::sss {
+
+struct RankSortResult {
+  /// ranks[i] = rank of input value i, 1-based, 1 = largest value
+  /// (non-increasing order as in Def. 2 of the paper). Empty in kCountOnly
+  /// mode.
+  std::vector<std::size_t> ranks;
+  /// Exact metered costs of the sort (excludes whatever the caller ran
+  /// before).
+  MpcCosts costs;
+  /// Layers in the comparator network.
+  std::size_t network_depth = 0;
+  /// Total comparators.
+  std::size_t comparators = 0;
+  /// Analytic parallel round count: comparators in one layer run
+  /// concurrently, so this is depth * rounds-per-comparator + the final
+  /// opening round. This is the number that reproduces the paper's
+  /// O((279l+5) n (log n)^2)-rounds comparison in Sec. VI-B.
+  std::uint64_t parallel_rounds = 0;
+};
+
+/// Sorts the given values (standard field representatives, each < p/2) in
+/// non-increasing order under MPC and returns each input's rank. In
+/// kCountOnly mode the values' contents are ignored but counts are exact.
+[[nodiscard]] RankSortResult mpc_rank_sort(MpcEngine& engine,
+                                           std::span<const Nat> values);
+
+}  // namespace ppgr::sss

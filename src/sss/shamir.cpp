@@ -1,0 +1,76 @@
+#include "sss/shamir.h"
+
+#include <stdexcept>
+
+namespace ppgr::sss {
+
+namespace {
+
+// Horner evaluation of the coefficient vector at x (field elements).
+Nat eval_poly(const FpCtx& f, const std::vector<Nat>& coeffs, const Nat& x) {
+  Nat acc = f.zero();
+  for (std::size_t i = coeffs.size(); i-- > 0;)
+    acc = f.add(f.mul(acc, x), coeffs[i]);
+  return acc;
+}
+
+}  // namespace
+
+ShareVec share_secret(const FpCtx& f, const Nat& secret, std::size_t t,
+                      std::size_t n, Rng& rng) {
+  if (n == 0 || t >= n)
+    throw std::invalid_argument("share_secret: need 0 <= t < n");
+  if (Nat{n} >= f.p())
+    throw std::invalid_argument("share_secret: field too small for n parties");
+  std::vector<Nat> coeffs(t + 1);
+  coeffs[0] = secret;
+  for (std::size_t i = 1; i <= t; ++i) coeffs[i] = f.random(rng);
+  ShareVec shares(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shares[i] = eval_poly(f, coeffs, f.to(Nat{i + 1}));
+  return shares;
+}
+
+std::vector<Nat> lagrange_at_zero(const FpCtx& f,
+                                  std::span<const std::size_t> xs) {
+  const std::size_t k = xs.size();
+  std::vector<Nat> lambda(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // λ_i = Π_{j != i} x_j / (x_j - x_i).
+    Nat num = f.one(), den = f.one();
+    const Nat xi = f.to(Nat{xs[i]});
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const Nat xj = f.to(Nat{xs[j]});
+      num = f.mul(num, xj);
+      den = f.mul(den, f.sub(xj, xi));
+    }
+    lambda[i] = f.div(num, den);
+  }
+  return lambda;
+}
+
+Nat reconstruct(const FpCtx& f, const ShareVec& shares, std::size_t t) {
+  if (shares.size() < t + 1)
+    throw std::invalid_argument("reconstruct: not enough shares");
+  std::vector<std::pair<std::size_t, Nat>> pts;
+  pts.reserve(t + 1);
+  for (std::size_t i = 0; i <= t; ++i) pts.emplace_back(i + 1, shares[i]);
+  return reconstruct_subset(f, pts);
+}
+
+Nat reconstruct_subset(const FpCtx& f,
+                       std::span<const std::pair<std::size_t, Nat>> points) {
+  if (points.empty())
+    throw std::invalid_argument("reconstruct_subset: no points");
+  std::vector<std::size_t> xs;
+  xs.reserve(points.size());
+  for (const auto& [x, _] : points) xs.push_back(x);
+  const auto lambda = lagrange_at_zero(f, xs);
+  Nat acc = f.zero();
+  for (std::size_t i = 0; i < points.size(); ++i)
+    acc = f.add(acc, f.mul(lambda[i], points[i].second));
+  return acc;
+}
+
+}  // namespace ppgr::sss

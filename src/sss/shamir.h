@@ -1,0 +1,42 @@
+// Shamir (t, n) secret sharing over a prime field.
+//
+// Substrate for the paper's baseline: the "SS framework" (Sec. VII) runs the
+// Jónsson-style multiparty sort, whose comparisons (Nishide–Ohta) are built
+// from exactly these primitives. Party "evaluation points" are 1..n; a value
+// is shared by a degree-t polynomial with the secret at 0; any t+1 shares
+// reconstruct, any t reveal nothing.
+#pragma once
+
+#include <vector>
+
+#include "mpz/fp.h"
+#include "mpz/rng.h"
+
+namespace ppgr::sss {
+
+using mpz::FpCtx;
+using mpz::Nat;
+using mpz::Rng;
+
+/// shares[i] is party (i+1)'s share (evaluation at x = i+1).
+using ShareVec = std::vector<Nat>;
+
+/// Split `secret` (field element) into n shares with threshold t
+/// (t+1 shares needed to reconstruct; degree-t polynomial).
+[[nodiscard]] ShareVec share_secret(const FpCtx& f, const Nat& secret,
+                                    std::size_t t, std::size_t n, Rng& rng);
+
+/// Lagrange coefficients λ_i for interpolating at x=0 from the evaluation
+/// points xs (1-based party indices).
+[[nodiscard]] std::vector<Nat> lagrange_at_zero(const FpCtx& f,
+                                                std::span<const std::size_t> xs);
+
+/// Reconstruct from the first t+1 shares (throws if fewer provided).
+[[nodiscard]] Nat reconstruct(const FpCtx& f, const ShareVec& shares,
+                              std::size_t t);
+
+/// Reconstruct from an arbitrary subset {(party_index, share)}.
+[[nodiscard]] Nat reconstruct_subset(
+    const FpCtx& f, std::span<const std::pair<std::size_t, Nat>> points);
+
+}  // namespace ppgr::sss

@@ -1,0 +1,36 @@
+#include "sss/sort_network.h"
+
+#include <algorithm>
+
+namespace ppgr::sss {
+
+std::vector<Layer> batcher_network(std::size_t n) {
+  // Iterative odd-even merge sort, valid for arbitrary n (Batcher's
+  // construction with out-of-range comparators dropped). Each (p, k) step
+  // touches disjoint wires and forms one parallel layer.
+  std::vector<Layer> net;
+  if (n < 2) return net;
+  for (std::size_t p = 1; p < n; p <<= 1) {
+    for (std::size_t k = p; k >= 1; k >>= 1) {
+      Layer layer;
+      for (std::size_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::size_t i = 0; i <= std::min(k - 1, n - j - k - 1); ++i) {
+          // Only compare wires within the same 2p-block of the merge.
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            layer.push_back(Comparator{i + j, i + j + k});
+          }
+        }
+      }
+      if (!layer.empty()) net.push_back(std::move(layer));
+    }
+  }
+  return net;
+}
+
+std::size_t comparator_count(const std::vector<Layer>& net) {
+  std::size_t total = 0;
+  for (const Layer& layer : net) total += layer.size();
+  return total;
+}
+
+}  // namespace ppgr::sss

@@ -1,0 +1,42 @@
+// Batcher odd-even merge sorting network.
+//
+// The paper's baseline sorting protocol (Jónsson, Kreitz, Uddin) embeds a
+// secure comparison primitive into a data-independent sorting network that is
+// "a variant of the merge sort algorithm" with O(n (log n)^2) comparators —
+// i.e. Batcher's odd-even merge sort, which is what we generate here. The
+// network is grouped into parallel layers: comparators within a layer touch
+// disjoint wires and can run in one communication super-round, which is how
+// the analytic round count of the SS framework is computed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppgr::sss {
+
+struct Comparator {
+  std::size_t lo;
+  std::size_t hi;  // lo < hi
+};
+
+/// One parallel layer: comparators with pairwise-disjoint wires.
+using Layer = std::vector<Comparator>;
+
+/// Batcher odd-even merge sort network for `n` wires (any n >= 1).
+[[nodiscard]] std::vector<Layer> batcher_network(std::size_t n);
+
+/// Total comparator count of a network.
+[[nodiscard]] std::size_t comparator_count(const std::vector<Layer>& net);
+
+/// Applies the network to a plain vector (ascending). Reference semantics
+/// for tests and for documenting the comparator orientation.
+template <typename T>
+void apply_network_plain(const std::vector<Layer>& net, std::vector<T>& v) {
+  for (const Layer& layer : net) {
+    for (const Comparator& c : layer) {
+      if (v[c.hi] < v[c.lo]) std::swap(v[c.lo], v[c.hi]);
+    }
+  }
+}
+
+}  // namespace ppgr::sss

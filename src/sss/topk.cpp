@@ -1,0 +1,109 @@
+#include "sss/topk.h"
+
+#include <stdexcept>
+
+namespace ppgr::sss {
+
+TopKResult probabilistic_topk(MpcEngine& engine, std::span<const Nat> values,
+                              std::size_t k, std::size_t value_bits) {
+  const auto& f = engine.field();
+  const std::size_t n = values.size();
+  if (n == 0 || k == 0 || k > n)
+    throw std::invalid_argument("probabilistic_topk: need 1 <= k <= n");
+  const bool counting = engine.mode() == MpcEngine::Mode::kCountOnly;
+  if (!counting) {
+    const Nat bound = Nat::pow2(value_bits);
+    if (bound >= f.p().shr(1))
+      throw std::invalid_argument("probabilistic_topk: field too small");
+    for (const Nat& v : values) {
+      if (v >= bound)
+        throw std::invalid_argument("probabilistic_topk: value out of range");
+    }
+  }
+
+  const MpcCosts before = engine.costs();
+  TopKResult out;
+
+  // Share the inputs.
+  std::vector<ShareVec> shared(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shared[i] = engine.input(counting ? f.zero() : f.to(values[i]));
+
+  // Binary search for the smallest threshold T with |{x_i >= T}| <= k;
+  // every iteration opens only the count.
+  Nat lo;                            // inclusive
+  Nat hi = Nat::pow2(value_bits);    // exclusive
+  std::vector<ShareVec> above(n);    // [x_i >= T] for the last probed T
+  Nat best_threshold;                // largest T seen with count >= k
+  bool have_best = false;
+
+  auto count_above = [&](const Nat& threshold) -> std::size_t {
+    // [x_i >= T] = 1 - [x_i < T]; comparisons run in parallel, opening the
+    // sum costs a single round.
+    const ShareVec t_shared = engine.constant(f.to(threshold));
+    ShareVec sum = engine.constant(f.zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      const ShareVec lt = engine.less_than(shared[i], t_shared);
+      above[i] = engine.add_const(engine.neg(lt), f.one());
+      if (!counting) sum = engine.add(sum, above[i]);
+    }
+    const Nat opened = engine.open(sum);
+    if (counting) return k;  // pretend exact hit; counts dominated by l iters
+    const Nat std_rep = f.from(opened);
+    if (!std_rep.fits_limb() || std_rep.to_limb() > n)
+      throw std::logic_error("probabilistic_topk: corrupt count");
+    return static_cast<std::size_t>(std_rep.to_limb());
+  };
+
+  if (counting) {
+    // Data-independent worst case: value_bits iterations.
+    for (std::size_t it = 0; it < value_bits; ++it) {
+      (void)count_above(Nat{1});
+      ++out.iterations;
+    }
+  } else {
+    while (lo < hi) {
+      const Nat mid = Nat::add(lo, hi).shr(1);
+      if (mid == lo) break;
+      ++out.iterations;
+      const std::size_t cnt = count_above(mid);
+      if (cnt >= k) {
+        best_threshold = mid;
+        have_best = true;
+        if (cnt == k) {
+          out.exact = true;
+          break;
+        }
+        lo = mid;  // too many above: raise the threshold
+      } else {
+        hi = mid;  // too few: lower it
+      }
+    }
+    if (!have_best) {
+      // k == n or all values equal minimum: everything qualifies.
+      best_threshold = Nat{};
+      have_best = true;
+      out.exact = (k == n);
+    }
+
+    // Recompute membership at the final threshold and open the bits.
+    (void)count_above(best_threshold.is_zero() ? Nat{} : best_threshold);
+    out.in_topk.assign(n, false);
+    if (best_threshold.is_zero()) {
+      out.in_topk.assign(n, true);
+      out.selected = n;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Nat bit = f.from(engine.open(above[i]));
+        out.in_topk[i] = bit.is_one();
+        out.selected += out.in_topk[i] ? 1 : 0;
+      }
+    }
+    if (out.selected == k) out.exact = true;
+  }
+
+  out.costs = engine.costs() - before;
+  return out;
+}
+
+}  // namespace ppgr::sss

@@ -1,0 +1,43 @@
+// Probabilistic privacy-preserving top-k (after Burkhart & Dimitropoulos,
+// ICCCN'10 — reference [4] of the paper).
+//
+// The paper's related work discusses this protocol as the fast-but-
+// imperfect alternative to full multiparty sorting: it finds the k largest
+// of n shared values by binary-searching a public threshold T and securely
+// counting how many values lie above it; only aggregate counts (and the
+// final membership bits) are opened. It is probabilistic in the paper's
+// sense: with duplicated values at the cut, no threshold separates exactly
+// k elements and the protocol terminates with a superset ("cannot be
+// guaranteed to terminate with a correct result every time").
+//
+// Cost: at most `value_bits` iterations of n parallel comparisons — O(l·n)
+// comparisons versus the full sort's O(n (log n)^2); the trade-off this
+// extension quantifies in bench/ext_topk.
+#pragma once
+
+#include "sss/mpc_engine.h"
+
+namespace ppgr::sss {
+
+struct TopKResult {
+  /// in_topk[i] == true iff value i made the cut. In the inexact case the
+  /// set can be larger than k (ties at the threshold are all included, like
+  /// the paper's own framework handles rank-k ties).
+  std::vector<bool> in_topk;
+  std::size_t selected = 0;
+  std::size_t iterations = 0;
+  /// false when duplicate values at the cut made an exact size-k set
+  /// impossible.
+  bool exact = false;
+  MpcCosts costs;
+};
+
+/// Finds the k largest of `values` (standard representatives, each
+/// < 2^value_bits and < p/2). Opens only per-iteration counts and the final
+/// membership bits. Requires 1 <= k <= values.size().
+[[nodiscard]] TopKResult probabilistic_topk(MpcEngine& engine,
+                                            std::span<const Nat> values,
+                                            std::size_t k,
+                                            std::size_t value_bits);
+
+}  // namespace ppgr::sss

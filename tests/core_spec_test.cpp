@@ -1,0 +1,171 @@
+// Tests for the problem-domain algebra: gains, partial gains, masking and
+// the expanded protocol vectors.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/spec.h"
+#include "dotprod/dot_product.h"
+#include "mpz/rng.h"
+
+namespace ppgr::core {
+namespace {
+
+using mpz::ChaChaRng;
+
+ProblemSpec tiny_spec() {
+  return ProblemSpec{.m = 4, .t = 2, .d1 = 8, .d2 = 4, .h = 6};
+}
+
+AttrVec random_attrs(const ProblemSpec& s, mpz::Rng& rng, std::size_t bits) {
+  AttrVec v(s.m);
+  for (auto& x : v) x = rng.below_u64(std::uint64_t{1} << bits);
+  return v;
+}
+
+TEST(ProblemSpec, Validation) {
+  ProblemSpec ok = tiny_spec();
+  EXPECT_NO_THROW(ok.validate());
+  ProblemSpec bad = ok;
+  bad.t = 5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.m = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.d1 = 64;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.h = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ProblemSpec, VectorChecks) {
+  const ProblemSpec s = tiny_spec();
+  EXPECT_NO_THROW(s.check_attributes({1, 2, 3, 255}));
+  EXPECT_THROW(s.check_attributes({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(s.check_attributes({1, 2, 3, 256}), std::invalid_argument);
+  EXPECT_NO_THROW(s.check_weights({15, 0, 1, 2}));
+  EXPECT_THROW(s.check_weights({16, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Gain, HandComputedExample) {
+  // m=4, t=2: first two "equal-to", last two "greater-than".
+  const ProblemSpec s = tiny_spec();
+  const AttrVec v0{10, 20, 0, 0};
+  const AttrVec w{2, 1, 3, 4};
+  const AttrVec v{12, 17, 5, 7};
+  // g = -[2*(12-10)^2 + 1*(17-20)^2] + [3*5 + 4*7] = -(8+9) + 43 = 26.
+  EXPECT_EQ(gain(s, v0, w, v).to_i64(), 26);
+}
+
+TEST(Gain, PartialGainDiffersByInitiatorConstant) {
+  const ProblemSpec s = tiny_spec();
+  ChaChaRng rng{100};
+  const AttrVec v0 = random_attrs(s, rng, s.d1);
+  const AttrVec w = random_attrs(s, rng, s.d2);
+  const Int c = gain_offset(s, v0, w);
+  for (int i = 0; i < 20; ++i) {
+    const AttrVec v = random_attrs(s, rng, s.d1);
+    EXPECT_EQ(gain(s, v0, w, v), partial_gain(s, v0, w, v) - c);
+  }
+}
+
+TEST(Gain, AllEqualToOrAllGreaterThan) {
+  ProblemSpec s = tiny_spec();
+  const AttrVec v0{1, 2, 3, 4}, w{1, 1, 1, 1}, v{2, 3, 4, 5};
+  s.t = 0;  // all greater-than
+  EXPECT_EQ(gain(s, v0, w, v).to_i64(), 4);
+  s.t = 4;  // all equal-to
+  EXPECT_EQ(gain(s, v0, w, v).to_i64(), -4);
+}
+
+TEST(Masking, PreservesStrictOrder) {
+  // β = ρ·p + ρ_j with ρ_j in [0, ρ): p_i > p_j implies β_i > β_j.
+  const ProblemSpec s = tiny_spec();
+  ChaChaRng rng{101};
+  const AttrVec v0 = random_attrs(s, rng, s.d1);
+  const AttrVec w = random_attrs(s, rng, s.d2);
+  Nat rho = rng.bits(s.h);
+  rho.set_bit(s.h - 1, true);
+  for (int i = 0; i < 30; ++i) {
+    const AttrVec va = random_attrs(s, rng, s.d1);
+    const AttrVec vb = random_attrs(s, rng, s.d1);
+    const Int pa = partial_gain(s, v0, w, va);
+    const Int pb = partial_gain(s, v0, w, vb);
+    // Adversarial masks: a gets the smallest, b the largest.
+    const Int ba = masked_partial_gain(s, v0, w, va, rho, Nat{});
+    const Int bb = masked_partial_gain(s, v0, w, vb, rho,
+                                       Nat::sub(rho, Nat{1}));
+    if (pa > pb) {
+      EXPECT_GT(ba, bb);
+    } else if (pa == pb) {
+      EXPECT_LE(ba, bb);  // equal gains may tie or flip
+    }
+  }
+}
+
+TEST(Masking, BetaFitsDeclaredBitLength) {
+  // Extreme values must stay within beta_bits(): all-max attributes and
+  // weights, largest ρ and ρ_j.
+  const ProblemSpec s = tiny_spec();
+  const std::uint64_t amax = (1ULL << s.d1) - 1;
+  const std::uint64_t wmax = (1ULL << s.d2) - 1;
+  const AttrVec vmax(s.m, amax), wv(s.m, wmax), vzero(s.m, 0);
+  const Nat rho_max = Nat::sub(Nat::pow2(s.h), Nat{1});
+  const Nat rho_j = Nat::sub(rho_max, Nat{1});
+  for (const AttrVec& v0 : {vmax, vzero}) {
+    for (const AttrVec& v : {vmax, vzero}) {
+      const Int beta = masked_partial_gain(s, v0, wv, v, rho_max, rho_j);
+      // Must be representable as l-bit unsigned after the shift.
+      EXPECT_NO_THROW((void)signed_to_unsigned(beta, s.beta_bits()));
+    }
+  }
+}
+
+TEST(Encoding, SignedUnsignedRoundTrip) {
+  for (const std::int64_t v : {-100, -1, 0, 1, 100}) {
+    const Nat u = signed_to_unsigned(Int{v}, 16);
+    EXPECT_EQ(unsigned_to_signed(u, 16).to_i64(), v);
+  }
+  // Order preservation.
+  EXPECT_LT(signed_to_unsigned(Int{-5}, 16), signed_to_unsigned(Int{3}, 16));
+  // Out of range rejected.
+  EXPECT_THROW((void)signed_to_unsigned(Int{40000}, 16), std::overflow_error);
+  EXPECT_THROW((void)signed_to_unsigned(Int{-40000}, 16), std::overflow_error);
+}
+
+TEST(ExpandedVectors, DotProductEqualsMaskedGain) {
+  // w'_j · v'_j must equal β_j = ρ·p_j + ρ_j — the identity at the heart of
+  // phase 1 (Sec. V).
+  const ProblemSpec s = tiny_spec();
+  const FpCtx& f = default_dot_field();
+  ChaChaRng rng{102};
+  for (int i = 0; i < 15; ++i) {
+    const AttrVec v0 = random_attrs(s, rng, s.d1);
+    const AttrVec w = random_attrs(s, rng, s.d2);
+    const AttrVec v = random_attrs(s, rng, s.d1);
+    Nat rho = rng.bits(s.h);
+    rho.set_bit(s.h - 1, true);
+    const Nat rho_j = rng.below(rho);
+
+    const auto wp = participant_vector(f, s, v);
+    const auto vp = initiator_vector(f, s, v0, w, rho, rho_j);
+    ASSERT_EQ(wp.size(), s.m + s.t + 1);
+    ASSERT_EQ(vp.size(), s.m + s.t + 1);
+    const Nat dot = dotprod::plain_dot(f, wp, vp);
+    const Int expect = masked_partial_gain(s, v0, w, v, rho, rho_j);
+    EXPECT_EQ(f.from_centered(dot), expect);
+  }
+}
+
+TEST(ReferenceRanks, TiesShareRank) {
+  const ProblemSpec s{.m = 1, .t = 0, .d1 = 8, .d2 = 4, .h = 6};
+  // gains = values with weight 1.
+  const AttrVec v0{0}, w{1};
+  const std::vector<AttrVec> infos{{5}, {9}, {5}, {1}};
+  EXPECT_EQ(reference_ranks(s, v0, w, infos),
+            (std::vector<std::size_t>{2, 1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace ppgr::core

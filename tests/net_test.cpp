@@ -1,0 +1,202 @@
+// Tests for the topology generator, routing, the packet simulator, and the
+// runtime trace recorder.
+#include <gtest/gtest.h>
+
+#include "net/simulator.h"
+#include "net/topology.h"
+#include "runtime/trace.h"
+
+namespace ppgr::net {
+namespace {
+
+using mpz::ChaChaRng;
+using runtime::TraceRecorder;
+using runtime::Transfer;
+
+TEST(Topology, RejectsBadInput) {
+  EXPECT_THROW((Topology{3, {Edge{0, 3}}}), std::invalid_argument);
+  EXPECT_THROW((Topology{3, {Edge{1, 1}}}), std::invalid_argument);
+  // Disconnected: 4 nodes, one edge.
+  EXPECT_THROW((Topology{4, {Edge{0, 1}}}), std::invalid_argument);
+}
+
+TEST(Topology, LineGraphPaths) {
+  const Topology t{4, {Edge{0, 1}, Edge{1, 2}, Edge{2, 3}}};
+  EXPECT_EQ(t.distance(0, 3), 3u);
+  EXPECT_EQ(t.distance(1, 2), 1u);
+  EXPECT_EQ(t.path(0, 3), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(t.path(3, 0), (std::vector<std::size_t>{2, 1, 0}));
+  EXPECT_THROW((void)t.path(0, 0), std::invalid_argument);
+}
+
+TEST(Topology, RandomConnectedHasExactEdgeCountAndIsConnected) {
+  ChaChaRng rng{90};
+  // The paper's instance: 80 nodes, 320 edges.
+  const Topology t = Topology::random_connected(80, 320, rng);
+  EXPECT_EQ(t.nodes(), 80u);
+  EXPECT_EQ(t.edges().size(), 320u);
+  // Connectivity is implied by construction; verify every pair has a path.
+  for (std::size_t a = 0; a < 80; a += 13) {
+    for (std::size_t b = a + 1; b < 80; b += 7) {
+      EXPECT_GE(t.distance(a, b), 1u);
+    }
+  }
+}
+
+TEST(Topology, RandomConnectedSpanningTreeEdgeCase) {
+  ChaChaRng rng{91};
+  const Topology t = Topology::random_connected(10, 9, rng);  // tree
+  EXPECT_EQ(t.edges().size(), 9u);
+}
+
+TEST(Topology, RandomConnectedRejectsInfeasible) {
+  ChaChaRng rng{92};
+  EXPECT_THROW((void)Topology::random_connected(10, 8, rng),
+               std::invalid_argument);  // below spanning tree
+  EXPECT_THROW((void)Topology::random_connected(10, 46, rng),
+               std::invalid_argument);  // above complete graph
+}
+
+TEST(Simulator, SingleHopTimingIsExact) {
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{.bandwidth_bps = 1e6,
+                                   .latency_s = 0.05,
+                                   .mtu_bytes = 1500,
+                                   .header_bytes = 40}};
+  // 1000 payload bytes -> one packet of 1040 bytes on the wire:
+  // tx = 1040*8/1e6 = 8.32 ms, + 50 ms latency.
+  const double d = sim.send_once(0, 1, 1000);
+  EXPECT_NEAR(d, 0.05 + 1040 * 8.0 / 1e6, 1e-9);
+}
+
+TEST(Simulator, MultiPacketSerializesOnLink) {
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{.bandwidth_bps = 1e6,
+                                   .latency_s = 0.0,
+                                   .mtu_bytes = 1500,
+                                   .header_bytes = 0}};
+  // 15000 bytes = 10 packets of 1500: serialized tx = 15000*8/1e6 = 120 ms.
+  const double d = sim.send_once(0, 1, 15000);
+  EXPECT_NEAR(d, 0.12, 1e-9);
+}
+
+TEST(Simulator, LatencyPerHopAccumulates) {
+  const Topology line{4, {Edge{0, 1}, Edge{1, 2}, Edge{2, 3}}};
+  Simulator sim{line, SimulatorConfig{.bandwidth_bps = 1e9,
+                                      .latency_s = 0.05,
+                                      .mtu_bytes = 1500,
+                                      .header_bytes = 0}};
+  // Tiny message, 3 hops: ~3 * 50 ms dominates.
+  const double d = sim.send_once(0, 3, 10);
+  EXPECT_GT(d, 0.15);
+  EXPECT_LT(d, 0.1501);
+}
+
+TEST(Simulator, ContentionOnSharedLink) {
+  // Two flows share the middle link of a dumbbell: total time is about twice
+  // a single flow's.
+  const Topology t{4, {Edge{0, 2}, Edge{1, 2}, Edge{2, 3}}};
+  Simulator sim{t, SimulatorConfig{.bandwidth_bps = 1e6,
+                                   .latency_s = 0.0,
+                                   .mtu_bytes = 1500,
+                                   .header_bytes = 0}};
+  const std::size_t kBytes = 150000;  // 100 packets
+  const Transfer one[] = {{0, 0, 2, kBytes}};
+  const Transfer two[] = {{0, 0, 2, kBytes}, {0, 1, 2, kBytes}};
+  const std::size_t nodes[] = {0, 1, 3};
+  const double t1 = sim.replay(std::span{one, 1}, nodes).total_seconds;
+  const double t2 = sim.replay(std::span{two, 2}, nodes).total_seconds;
+  EXPECT_GT(t2, 1.8 * t1);
+  EXPECT_LT(t2, 2.2 * t1);
+}
+
+TEST(Simulator, DuplexLinkDoesNotContend) {
+  // Opposite directions of the same link are independent (duplex).
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{.bandwidth_bps = 1e6,
+                                   .latency_s = 0.0,
+                                   .mtu_bytes = 1500,
+                                   .header_bytes = 0}};
+  const std::size_t kBytes = 150000;
+  const Transfer both[] = {{0, 0, 1, kBytes}, {0, 1, 0, kBytes}};
+  const std::size_t nodes[] = {0, 1};
+  const double d = sim.replay(std::span{both, 2}, nodes).total_seconds;
+  EXPECT_NEAR(d, 1.2, 1e-6);  // same as a single flow
+}
+
+TEST(Simulator, RoundsAreBarriers) {
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{.bandwidth_bps = 1e6,
+                                   .latency_s = 0.01,
+                                   .mtu_bytes = 1500,
+                                   .header_bytes = 0}};
+  // Two rounds of one packet each: durations add up.
+  const Transfer seq[] = {{0, 0, 1, 100}, {1, 1, 0, 100}};
+  const std::size_t nodes[] = {0, 1};
+  const auto result = sim.replay(std::span{seq, 2}, nodes);
+  ASSERT_EQ(result.round_seconds.size(), 2u);
+  EXPECT_NEAR(result.total_seconds,
+              result.round_seconds[0] + result.round_seconds[1], 1e-12);
+  EXPECT_GT(result.round_seconds[0], 0.01);
+  EXPECT_GT(result.round_seconds[1], 0.01);
+}
+
+TEST(Simulator, EmptyRoundsArePreserved) {
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{}};
+  const Transfer sparse[] = {{0, 0, 1, 10}, {3, 1, 0, 10}};
+  const std::size_t nodes[] = {0, 1};
+  const auto result = sim.replay(std::span{sparse, 2}, nodes);
+  EXPECT_EQ(result.round_seconds.size(), 4u);
+  EXPECT_EQ(result.round_seconds[1], 0.0);
+  EXPECT_EQ(result.round_seconds[2], 0.0);
+}
+
+TEST(Simulator, CoLocatedPartiesAreFree) {
+  const Topology t{2, {Edge{0, 1}}};
+  Simulator sim{t, SimulatorConfig{}};
+  const Transfer msg[] = {{0, 0, 1, 1000000}};
+  const std::size_t nodes[] = {0, 0};  // both parties on node 0
+  EXPECT_EQ(sim.replay(std::span{msg, 1}, nodes).total_seconds, 0.0);
+}
+
+// ---- TraceRecorder ----
+
+TEST(TraceRecorder, RecordsAndAggregates) {
+  TraceRecorder rec;
+  rec.record(0, 1, 100);
+  rec.record(1, 0, 50);
+  rec.next_round();
+  rec.record(2, 1, 25);
+  EXPECT_EQ(rec.message_count(), 3u);
+  EXPECT_EQ(rec.rounds(), 2u);
+  EXPECT_EQ(rec.total_bytes(), 175u);
+  EXPECT_EQ(rec.bytes_sent_by(0), 100u);
+  EXPECT_EQ(rec.bytes_received_by(1), 125u);
+  EXPECT_EQ(rec.transfers()[2].round, 1u);
+  rec.clear();
+  EXPECT_EQ(rec.message_count(), 0u);
+}
+
+TEST(TraceRecorder, RejectsSelfMessages) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.record(1, 1, 10), std::invalid_argument);
+}
+
+TEST(PartyTimer, AccumulatesPerParty) {
+  runtime::PartyTimer timer{3};
+  timer.add(1, 0.5);
+  timer.add(2, 0.25);
+  timer.add(1, 0.5);
+  timer.add(0, 9.0);  // initiator excluded from participant stats
+  EXPECT_DOUBLE_EQ(timer.seconds(1), 1.0);
+  EXPECT_DOUBLE_EQ(timer.max_participant_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(timer.mean_participant_seconds(), 0.625);
+  {
+    auto scope = timer.time(2);
+  }
+  EXPECT_GE(timer.seconds(2), 0.25);
+}
+
+}  // namespace
+}  // namespace ppgr::net

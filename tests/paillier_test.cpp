@@ -1,0 +1,116 @@
+// Tests for the Paillier extension: round trips, additive homomorphism,
+// scaling, re-randomization, and the zero-preservation property the
+// framework's step-8 randomization trick relies on (showing Paillier *could*
+// implement the comparison phase if its key could be distributed).
+#include <gtest/gtest.h>
+
+#include "crypto/paillier.h"
+#include "mpz/modarith.h"
+
+namespace ppgr::crypto {
+namespace {
+
+using mpz::ChaChaRng;
+using mpz::Nat;
+
+class PaillierFixture : public ::testing::Test {
+ protected:
+  PaillierFixture()
+      : rng(600), key(PaillierPrivateKey::generate(256, rng)) {}
+  ChaChaRng rng;
+  PaillierPrivateKey key;
+};
+
+TEST_F(PaillierFixture, EncryptDecryptRoundTrip) {
+  const auto& pub = key.public_key();
+  for (const mpz::Limb m : {0ULL, 1ULL, 42ULL, 1234567ULL}) {
+    EXPECT_EQ(key.decrypt(pub.encrypt(Nat{m}, rng)), Nat{m});
+  }
+  // Large plaintext just below N.
+  const Nat big = Nat::sub(pub.n(), Nat{1});
+  EXPECT_EQ(key.decrypt(pub.encrypt(big, rng)), big);
+}
+
+TEST_F(PaillierFixture, EncryptionIsProbabilistic) {
+  const auto& pub = key.public_key();
+  const Nat c1 = pub.encrypt(Nat{7}, rng);
+  const Nat c2 = pub.encrypt(Nat{7}, rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(key.decrypt(c1), key.decrypt(c2));
+}
+
+TEST_F(PaillierFixture, AdditiveHomomorphism) {
+  const auto& pub = key.public_key();
+  const Nat a = pub.encrypt(Nat{1000}, rng);
+  const Nat b = pub.encrypt(Nat{234}, rng);
+  EXPECT_EQ(key.decrypt(pub.add(a, b)), Nat{1234});
+  // Addition wraps mod N.
+  const Nat near_n = pub.encrypt(Nat::sub(pub.n(), Nat{1}), rng);
+  const Nat two = pub.encrypt(Nat{2}, rng);
+  EXPECT_EQ(key.decrypt(pub.add(near_n, two)), Nat{1});
+}
+
+TEST_F(PaillierFixture, ScalarMultiplication) {
+  const auto& pub = key.public_key();
+  const Nat c = pub.encrypt(Nat{21}, rng);
+  EXPECT_EQ(key.decrypt(pub.scale(c, Nat{2})), Nat{42});
+  EXPECT_EQ(key.decrypt(pub.scale(c, Nat{1000})), Nat{21000});
+  // Scaling by zero gives an encryption of zero.
+  EXPECT_EQ(key.decrypt(pub.scale(c, Nat{})), Nat{});
+}
+
+TEST_F(PaillierFixture, RerandomizePreservesPlaintext) {
+  const auto& pub = key.public_key();
+  const Nat c = pub.encrypt(Nat{99}, rng);
+  const Nat r = pub.rerandomize(c, rng);
+  EXPECT_NE(r, c);
+  EXPECT_EQ(key.decrypt(r), Nat{99});
+}
+
+TEST_F(PaillierFixture, ZeroPreservationUnderScaling) {
+  // The step-8 trick: raising to a random power maps zero to zero and any
+  // nonzero m to r·m (mod N) — Paillier supports it identically to
+  // exponential ElGamal.
+  const auto& pub = key.public_key();
+  const Nat zero_ct = pub.encrypt(Nat{}, rng);
+  const Nat nz_ct = pub.encrypt(Nat{5}, rng);
+  for (int i = 0; i < 5; ++i) {
+    const Nat r = rng.nonzero_below(pub.n());
+    EXPECT_EQ(key.decrypt(pub.scale(zero_ct, r)), Nat{});
+    const Nat masked = key.decrypt(pub.scale(nz_ct, r));
+    EXPECT_EQ(masked, Nat::mul(Nat{5}, r) % pub.n());
+    EXPECT_FALSE(masked.is_zero());
+  }
+}
+
+TEST_F(PaillierFixture, DecryptValidatesRange) {
+  EXPECT_THROW((void)key.decrypt(Nat{}), std::invalid_argument);
+  EXPECT_THROW((void)key.decrypt(key.public_key().n_squared()),
+               std::invalid_argument);
+}
+
+TEST_F(PaillierFixture, EncryptValidatesRange) {
+  EXPECT_THROW((void)key.public_key().encrypt(key.public_key().n(), rng),
+               std::invalid_argument);
+}
+
+TEST(Paillier, CiphertextSizeIsTwiceModulus) {
+  ChaChaRng rng{601};
+  const auto key = PaillierPrivateKey::generate(128, rng);
+  // N^2 has ~2x the modulus bits: ciphertexts are twice as large as N.
+  EXPECT_NEAR(static_cast<double>(key.public_key().ciphertext_bytes()),
+              2.0 * 128 / 8, 1.0);
+}
+
+TEST(Paillier, DistinctKeysDontInterop) {
+  ChaChaRng rng{602};
+  const auto k1 = PaillierPrivateKey::generate(128, rng);
+  const auto k2 = PaillierPrivateKey::generate(128, rng);
+  const Nat c = k1.public_key().encrypt(Nat{77}, rng);
+  if (c < k2.public_key().n_squared() && !c.is_zero()) {
+    EXPECT_NE(k2.decrypt(c), Nat{77});
+  }
+}
+
+}  // namespace
+}  // namespace ppgr::crypto

@@ -1,0 +1,160 @@
+// Tests for the Batcher network generator and the multiparty rank sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sss/mpc_sort.h"
+#include "sss/sort_network.h"
+
+namespace ppgr::sss {
+namespace {
+
+using mpz::ChaChaRng;
+using mpz::FpCtx;
+
+const FpCtx& small_field() {
+  static const FpCtx f{mpz::Nat{131071}};  // 2^17 - 1
+  return f;
+}
+
+class BatcherSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatcherSizes, SortsEveryRandomInput) {
+  const std::size_t n = GetParam();
+  const auto net = batcher_network(n);
+  ChaChaRng rng{70 + n};
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng.below_u64(50);  // duplicates likely
+    std::vector<std::uint64_t> expect = v;
+    std::sort(expect.begin(), expect.end());
+    apply_network_plain(net, v);
+    EXPECT_EQ(v, expect) << "n=" << n;
+  }
+}
+
+TEST_P(BatcherSizes, LayersTouchDisjointWires) {
+  const auto net = batcher_network(GetParam());
+  for (const Layer& layer : net) {
+    std::vector<std::size_t> wires;
+    for (const Comparator& c : layer) {
+      EXPECT_LT(c.lo, c.hi);
+      wires.push_back(c.lo);
+      wires.push_back(c.hi);
+    }
+    std::sort(wires.begin(), wires.end());
+    EXPECT_TRUE(std::adjacent_find(wires.begin(), wires.end()) == wires.end())
+        << "duplicate wire in a parallel layer";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatcherSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 25, 31,
+                                           64));
+
+TEST(Batcher, AsymptoticsMatchPaper) {
+  // O(n (log n)^2) comparators and O((log n)^2) depth.
+  for (std::size_t n : {16u, 64u, 256u}) {
+    const auto net = batcher_network(n);
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(comparator_count(net)),
+              0.5 * n * logn * (logn + 1) + n);
+    EXPECT_LE(static_cast<double>(net.size()), logn * (logn + 1) / 2 + 1);
+  }
+}
+
+// ---- MPC rank sort ----
+
+std::vector<std::size_t> plain_ranks(const std::vector<std::uint64_t>& vals) {
+  // rank 1 = largest; ties broken arbitrarily but consistently with a stable
+  // descending sort by (value, index).
+  std::vector<std::size_t> idx(vals.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return vals[a] > vals[b]; });
+  std::vector<std::size_t> ranks(vals.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) ranks[idx[pos]] = pos + 1;
+  return ranks;
+}
+
+TEST(MpcRankSort, DistinctValuesExactRanks) {
+  ChaChaRng rng{80};
+  MpcEngine engine{small_field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{500}, Nat{100}, Nat{900}, Nat{300},
+                                Nat{700}};
+  const auto result = mpc_rank_sort(engine, values);
+  EXPECT_EQ(result.ranks, (std::vector<std::size_t>{3, 5, 1, 4, 2}));
+  EXPECT_EQ(result.comparators, comparator_count(batcher_network(5)));
+  EXPECT_GT(result.costs.mults, 0u);
+  EXPECT_GT(result.parallel_rounds, 0u);
+  EXPECT_LT(result.parallel_rounds, result.costs.rounds);
+}
+
+TEST(MpcRankSort, RandomInputsMatchPlainRanking) {
+  ChaChaRng rng{81};
+  for (std::size_t n : {2u, 3u, 6u}) {
+    MpcEngine engine{small_field(), 5, 2, rng};
+    std::vector<std::uint64_t> raw(n);
+    for (auto& x : raw) x = rng.below_u64(60000);
+    std::vector<Nat> values;
+    for (auto x : raw) values.emplace_back(x);
+    const auto result = mpc_rank_sort(engine, values);
+    // With distinct values the rank vector must match the plain ranking; with
+    // duplicates the positions of equal values may swap, so compare sorted
+    // multisets of (value, rank) consistency: rank order must respect values.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (raw[i] > raw[j]) {
+          EXPECT_LT(result.ranks[i], result.ranks[j]);
+        }
+      }
+    }
+    // Ranks are a permutation of 1..n.
+    auto sorted = result.ranks;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i + 1);
+  }
+}
+
+TEST(MpcRankSort, DuplicateValues) {
+  ChaChaRng rng{82};
+  MpcEngine engine{small_field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{5}, Nat{5}, Nat{9}, Nat{1}};
+  const auto result = mpc_rank_sort(engine, values);
+  EXPECT_EQ(result.ranks[2], 1u);
+  EXPECT_EQ(result.ranks[3], 4u);
+  // The two fives occupy ranks {2, 3} in some order.
+  EXPECT_EQ(std::min(result.ranks[0], result.ranks[1]), 2u);
+  EXPECT_EQ(std::max(result.ranks[0], result.ranks[1]), 3u);
+}
+
+TEST(MpcRankSort, RejectsOutOfRangeValues) {
+  ChaChaRng rng{83};
+  MpcEngine engine{small_field(), 5, 2, rng};
+  const std::vector<Nat> values{small_field().p().shr(1), Nat{1}};
+  EXPECT_THROW((void)mpc_rank_sort(engine, values), std::invalid_argument);
+  EXPECT_THROW((void)mpc_rank_sort(engine, std::vector<Nat>{}),
+               std::invalid_argument);
+}
+
+TEST(MpcRankSort, CountOnlyModeCharges) {
+  ChaChaRng rng{84};
+  MpcEngine engine{small_field(), 7, 3, rng, MpcEngine::Mode::kCountOnly};
+  const std::vector<Nat> values(10, Nat{});
+  const auto result = mpc_rank_sort(engine, values);
+  EXPECT_TRUE(result.ranks.empty());
+  EXPECT_EQ(result.comparators, comparator_count(batcher_network(10)));
+  // ~O(l) mults per comparator.
+  EXPECT_GT(result.costs.mults, result.comparators * small_field().bits());
+  EXPECT_GT(result.parallel_rounds, 0u);
+}
+
+TEST(MpcRankSort, PlainRankHelperAgreesOnDistinct) {
+  // Guard the test helper itself.
+  EXPECT_EQ(plain_ranks({10, 30, 20}), (std::vector<std::size_t>{3, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ppgr::sss

@@ -1,0 +1,145 @@
+// Tests for the probabilistic top-k extension (Burkhart–Dimitropoulos
+// style, reference [4] of the paper).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sss/sort_network.h"
+#include "sss/topk.h"
+
+namespace ppgr::sss {
+namespace {
+
+using mpz::ChaChaRng;
+using mpz::FpCtx;
+
+const FpCtx& field() {
+  static const FpCtx f{mpz::Nat{131071}};  // 2^17 - 1
+  return f;
+}
+
+TEST(TopK, DistinctValuesExactSelection) {
+  ChaChaRng rng{300};
+  MpcEngine engine{field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{50}, Nat{900}, Nat{10}, Nat{700},
+                                Nat{300}};
+  const auto result = probabilistic_topk(engine, values, 2, 10);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.selected, 2u);
+  EXPECT_EQ(result.in_topk,
+            (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_LE(result.iterations, 10u);
+  EXPECT_GT(result.costs.comparisons, 0u);
+}
+
+TEST(TopK, RandomizedAgainstPlainSelection) {
+  ChaChaRng rng{301};
+  for (int iter = 0; iter < 6; ++iter) {
+    MpcEngine engine{field(), 5, 2, rng};
+    const std::size_t n = 4 + rng.below_u64(4);
+    const std::size_t k = 1 + rng.below_u64(n);
+    std::vector<std::uint64_t> raw(n);
+    for (auto& x : raw) x = rng.below_u64(1 << 12);
+    std::vector<Nat> values;
+    for (auto x : raw) values.emplace_back(x);
+    const auto result = probabilistic_topk(engine, values, k, 12);
+
+    // Determine the plain k-th largest; with distinct values the selection
+    // must match exactly, otherwise it must be a superset covering ties.
+    auto sorted = raw;
+    std::sort(sorted.rbegin(), sorted.rend());
+    const std::uint64_t kth = sorted[k - 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (raw[i] > kth) {
+        EXPECT_TRUE(result.in_topk[i]) << "value above kth must be selected";
+      }
+      if (raw[i] < kth) {
+        EXPECT_FALSE(result.in_topk[i]) << "value below kth must be excluded";
+      }
+    }
+    EXPECT_GE(result.selected, k);
+  }
+}
+
+TEST(TopK, TiesYieldSuperset) {
+  ChaChaRng rng{302};
+  MpcEngine engine{field(), 5, 2, rng};
+  // Three-way tie at the cut for k=2.
+  const std::vector<Nat> values{Nat{100}, Nat{100}, Nat{100}, Nat{5}};
+  const auto result = probabilistic_topk(engine, values, 2, 8);
+  EXPECT_EQ(result.selected, 3u);  // all tied values included
+  EXPECT_FALSE(result.exact);
+  EXPECT_FALSE(result.in_topk[3]);
+}
+
+TEST(TopK, KEqualsNSelectsEverything) {
+  ChaChaRng rng{303};
+  MpcEngine engine{field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{4}, Nat{4}, Nat{9}};
+  const auto result = probabilistic_topk(engine, values, 3, 6);
+  EXPECT_EQ(result.selected, 3u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(TopK, KEqualsOne) {
+  ChaChaRng rng{304};
+  MpcEngine engine{field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{7}, Nat{63}, Nat{12}};
+  const auto result = probabilistic_topk(engine, values, 1, 6);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.in_topk, (std::vector<bool>{false, true, false}));
+}
+
+TEST(TopK, RejectsBadArguments) {
+  ChaChaRng rng{305};
+  MpcEngine engine{field(), 5, 2, rng};
+  const std::vector<Nat> values{Nat{1}, Nat{2}};
+  EXPECT_THROW((void)probabilistic_topk(engine, values, 0, 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)probabilistic_topk(engine, values, 3, 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)probabilistic_topk(engine, {}, 1, 8),
+               std::invalid_argument);
+  // Value outside the declared bit range.
+  const std::vector<Nat> wide{Nat{300}};
+  EXPECT_THROW((void)probabilistic_topk(engine, wide, 1, 8),
+               std::invalid_argument);
+  // Field too small for the declared range.
+  EXPECT_THROW((void)probabilistic_topk(engine, values, 1, 16),
+               std::invalid_argument);
+}
+
+TEST(TopK, CountOnlyModeWorstCase) {
+  ChaChaRng rng{306};
+  MpcEngine engine{field(), 7, 3, rng, MpcEngine::Mode::kCountOnly};
+  const std::vector<Nat> values(10);
+  const auto result = probabilistic_topk(engine, values, 3, 12);
+  EXPECT_EQ(result.iterations, 12u);
+  // O(l·n) comparisons, far below a full sort's for moderate n.
+  EXPECT_EQ(result.costs.comparisons, 12u * 10u);
+}
+
+TEST(TopK, ComparisonCountTradeoffVsFullSort) {
+  // Threshold search costs l·n comparisons (worst case) vs the sort's
+  // ~n(log n)^2/4 comparators: the sort wins on comparisons while
+  // (log n)^2/4 < l, and top-k wins beyond that crossover. Verify both
+  // regimes of the trade-off with the exact counts.
+  ChaChaRng rng{307};
+  const std::size_t l = 10;
+  // Small n: sort cheaper.
+  {
+    const std::size_t n = 64;
+    MpcEngine engine{field(), 7, 3, rng, MpcEngine::Mode::kCountOnly};
+    const auto topk = probabilistic_topk(engine, std::vector<Nat>(n), 3, l);
+    EXPECT_EQ(topk.costs.comparisons, l * n);
+    EXPECT_LT(comparator_count(batcher_network(n)), topk.costs.comparisons);
+  }
+  // Large n: top-k cheaper ((log n)^2 outgrows 4l).
+  {
+    const std::size_t n = 8192;
+    EXPECT_GT(comparator_count(batcher_network(n)), l * n);
+  }
+}
+
+}  // namespace
+}  // namespace ppgr::sss

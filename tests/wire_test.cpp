@@ -1,0 +1,289 @@
+// Tests for the wire format and the protocol message codecs: round trips,
+// canonical-encoding enforcement, truncation/garbage rejection, and
+// agreement between codec sizes and the trace byte-accounting formulas.
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "crypto/codec.h"
+#include "runtime/wire.h"
+
+namespace ppgr {
+namespace {
+
+using mpz::ChaChaRng;
+using mpz::Nat;
+using runtime::Reader;
+using runtime::WireError;
+using runtime::Writer;
+
+TEST(Wire, PrimitiveRoundTrips) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(UINT64_MAX);
+  const std::vector<std::uint8_t> blob{1, 2, 3};
+  w.bytes(blob);
+  w.nat(Nat::from_hex("deadbeefcafebabe123456"));
+
+  Reader r{w.data()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), UINT64_MAX);
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.nat(), Nat::from_hex("deadbeefcafebabe123456"));
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(Wire, VarintBoundaries) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 35, UINT64_MAX}) {
+    Writer w;
+    w.varint(v);
+    Reader r{w.data()};
+    EXPECT_EQ(r.varint(), v);
+    r.finish();
+  }
+}
+
+TEST(Wire, RejectsTruncation) {
+  Writer w;
+  w.u64(42);
+  const auto data = w.data();
+  Reader r{std::span{data.data(), 4}};
+  EXPECT_THROW((void)r.u64(), WireError);
+}
+
+TEST(Wire, RejectsNonCanonicalVarint) {
+  // 0x80 0x00 encodes 0 with a redundant continuation byte.
+  const std::uint8_t bad[] = {0x80, 0x00};
+  Reader r{bad};
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Wire, RejectsOverlongVarint) {
+  std::vector<std::uint8_t> bad(10, 0xFF);  // never terminates within 64 bits
+  Reader r{bad};
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Wire, RejectsNonMinimalNat) {
+  Writer w;
+  const std::vector<std::uint8_t> padded{0x00, 0x01};  // leading zero
+  w.bytes(padded);
+  Reader r{w.data()};
+  EXPECT_THROW((void)r.nat(), WireError);
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r{w.data()};
+  (void)r.u8();
+  EXPECT_THROW(r.finish(), WireError);
+}
+
+TEST(Wire, RejectsLengthBombByteString) {
+  Writer w;
+  w.varint(1ULL << 40);  // claims a terabyte
+  w.u8(0);
+  Reader r{w.data()};
+  EXPECT_THROW((void)r.bytes(), WireError);
+}
+
+TEST(Wire, ZeroNatRoundTrip) {
+  Writer w;
+  w.nat(Nat{});
+  Reader r{w.data()};
+  EXPECT_TRUE(r.nat().is_zero());
+  r.finish();
+}
+
+// ---- crypto codecs ----
+
+class CryptoCodec : public ::testing::TestWithParam<group::GroupId> {};
+
+TEST_P(CryptoCodec, ElemAndCiphertextRoundTrip) {
+  const auto g = group::make_group(GetParam());
+  ChaChaRng rng{120};
+  const auto kp = crypto::keygen(*g, rng);
+  const auto ct = crypto::encrypt_exp(*g, kp.y, Nat{5}, rng);
+
+  Writer w;
+  crypto::write_elem(w, *g, kp.y);
+  crypto::write_ciphertext(w, *g, ct);
+  EXPECT_EQ(w.size(), crypto::elem_wire_bytes(*g) +
+                          crypto::ciphertext_wire_bytes(*g));
+
+  Reader r{w.data()};
+  EXPECT_TRUE(g->eq(crypto::read_elem(r, *g), kp.y));
+  const auto ct2 = crypto::read_ciphertext(r, *g);
+  EXPECT_TRUE(g->eq(ct2.c, ct.c));
+  EXPECT_TRUE(g->eq(ct2.cp, ct.cp));
+  r.finish();
+}
+
+TEST_P(CryptoCodec, CiphertextVectorRoundTrip) {
+  const auto g = group::make_group(GetParam());
+  ChaChaRng rng{121};
+  const auto kp = crypto::keygen(*g, rng);
+  std::vector<crypto::Ciphertext> cts;
+  for (int i = 0; i < 5; ++i)
+    cts.push_back(crypto::encrypt_exp(*g, kp.y, Nat{static_cast<mpz::Limb>(i)}, rng));
+
+  Writer w;
+  crypto::write_ciphertexts(w, *g, cts);
+  Reader r{w.data()};
+  const auto back = crypto::read_ciphertexts(r, *g);
+  r.finish();
+  ASSERT_EQ(back.size(), cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_TRUE(g->eq(back[i].c, cts[i].c));
+  }
+}
+
+TEST_P(CryptoCodec, CiphertextVectorRejectsLengthBomb) {
+  const auto g = group::make_group(GetParam());
+  Writer w;
+  w.varint(1 << 30);
+  Reader r{w.data()};
+  EXPECT_THROW((void)crypto::read_ciphertexts(r, *g), WireError);
+}
+
+TEST_P(CryptoCodec, TranscriptRoundTripAndValidation) {
+  const auto g = group::make_group(GetParam());
+  ChaChaRng rng{122};
+  const auto kp = crypto::keygen(*g, rng);
+  const auto t = crypto::schnorr_prove(*g, kp.x, 3, rng);
+
+  Writer w;
+  crypto::write_transcript(w, *g, t);
+  Reader r{w.data()};
+  const auto t2 = crypto::read_transcript(r, *g);
+  r.finish();
+  EXPECT_TRUE(crypto::schnorr_verify(*g, kp.y, t2));
+
+  // Out-of-range challenge rejected.
+  crypto::SchnorrTranscript bad = t;
+  bad.challenges[0] = g->order();
+  Writer wb;
+  crypto::write_transcript(wb, *g, bad);
+  Reader rb{wb.data()};
+  EXPECT_THROW((void)crypto::read_transcript(rb, *g), WireError);
+}
+
+TEST_P(CryptoCodec, CorruptedElementRejected) {
+  // Flipping ciphertext bytes must yield a deserialization error (not a
+  // silently wrong element) for the curve; for the Schnorr group flipping
+  // can produce a non-residue, also rejected.
+  const auto g = group::make_group(GetParam());
+  ChaChaRng rng{123};
+  const auto kp = crypto::keygen(*g, rng);
+  Writer w;
+  crypto::write_elem(w, *g, kp.y);
+  auto data = w.take();
+  bool rejected_any = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto corrupt = data;
+    corrupt[corrupt.size() - 1 - static_cast<std::size_t>(attempt)] ^= 0x5A;
+    Reader r{corrupt};
+    try {
+      (void)crypto::read_elem(r, *g);
+    } catch (const std::invalid_argument&) {
+      rejected_any = true;
+    }
+  }
+  EXPECT_TRUE(rejected_any);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, CryptoCodec,
+                         ::testing::Values(group::GroupId::kDlTest256,
+                                           group::GroupId::kEcP192),
+                         [](const auto& info) {
+                           std::string n = group::to_string(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// ---- core codecs ----
+
+TEST(CoreCodec, DotProductMessagesRoundTrip) {
+  const auto& f = core::default_dot_field();
+  ChaChaRng rng{124};
+  dotprod::FVec wvec(6);
+  for (auto& x : wvec) x = f.random(rng);
+  const dotprod::DotProductBob bob{f, wvec, 4, rng};
+
+  Writer w;
+  core::write_bob_round1(w, f, bob.round1());
+  // Codec size must match the trace accounting formula.
+  EXPECT_NEAR(static_cast<double>(w.size()),
+              static_cast<double>(dotprod::bob_message_bytes(f, 4, 6)), 4.0);
+
+  Reader r{w.data()};
+  const auto m = core::read_bob_round1(r, f);
+  r.finish();
+  EXPECT_EQ(m.qx, bob.round1().qx);
+  EXPECT_EQ(m.cprime, bob.round1().cprime);
+  EXPECT_EQ(m.gvec, bob.round1().gvec);
+
+  dotprod::FVec v(6);
+  for (auto& x : v) x = f.random(rng);
+  const auto reply = dotprod::dot_product_alice(f, m, v);
+  Writer w2;
+  core::write_alice_round2(w2, f, reply);
+  EXPECT_EQ(w2.size(), dotprod::alice_message_bytes(f));
+  Reader r2{w2.data()};
+  const auto reply2 = core::read_alice_round2(r2, f);
+  EXPECT_EQ(reply2.a, reply.a);
+  EXPECT_EQ(reply2.h, reply.h);
+}
+
+TEST(CoreCodec, FieldElementRangeValidated) {
+  const auto& f = core::default_dot_field();
+  Writer w;
+  w.raw(f.p().to_bytes_be((f.bits() + 7) / 8));  // == p, out of range
+  Reader r{w.data()};
+  EXPECT_THROW((void)core::read_field_elem(r, f), WireError);
+}
+
+TEST(CoreCodec, SubmissionRoundTripAndValidation) {
+  const core::ProblemSpec spec{.m = 3, .t = 1, .d1 = 8, .d2 = 4, .h = 6};
+  const core::Initiator::Submission s{.participant = 4, .claimed_rank = 2,
+                                      .info = {10, 20, 30}};
+  Writer w;
+  core::write_submission(w, s);
+  Reader r{w.data()};
+  const auto s2 = core::read_submission(r, spec);
+  r.finish();
+  EXPECT_EQ(s2.participant, 4u);
+  EXPECT_EQ(s2.claimed_rank, 2u);
+  EXPECT_EQ(s2.info, s.info);
+
+  // Wrong dimension rejected.
+  const core::ProblemSpec other{.m = 4, .t = 1, .d1 = 8, .d2 = 4, .h = 6};
+  Reader r2{w.data()};
+  EXPECT_THROW((void)core::read_submission(r2, other), WireError);
+
+  // Attribute exceeding d1 rejected.
+  core::Initiator::Submission wide = s;
+  wide.info[0] = 300;  // > 2^8
+  Writer w3;
+  core::write_submission(w3, wide);
+  Reader r3{w3.data()};
+  EXPECT_THROW((void)core::read_submission(r3, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppgr
