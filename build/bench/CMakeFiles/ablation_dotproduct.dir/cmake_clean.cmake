@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dotproduct.dir/ablation_dotproduct.cpp.o"
+  "CMakeFiles/ablation_dotproduct.dir/ablation_dotproduct.cpp.o.d"
+  "ablation_dotproduct"
+  "ablation_dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

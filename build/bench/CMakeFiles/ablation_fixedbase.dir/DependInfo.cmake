@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fixedbase.cpp" "bench/CMakeFiles/ablation_fixedbase.dir/ablation_fixedbase.cpp.o" "gcc" "bench/CMakeFiles/ablation_fixedbase.dir/ablation_fixedbase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchcore/CMakeFiles/ppgr_benchcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ppgr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppgr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppgr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/ppgr_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/dotprod/CMakeFiles/ppgr_dotprod.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/ppgr_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/ppgr_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ppgr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

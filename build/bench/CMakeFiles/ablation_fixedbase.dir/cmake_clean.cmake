@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixedbase.dir/ablation_fixedbase.cpp.o"
+  "CMakeFiles/ablation_fixedbase.dir/ablation_fixedbase.cpp.o.d"
+  "ablation_fixedbase"
+  "ablation_fixedbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixedbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

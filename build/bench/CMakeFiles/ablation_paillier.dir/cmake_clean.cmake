@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_paillier.dir/ablation_paillier.cpp.o"
+  "CMakeFiles/ablation_paillier.dir/ablation_paillier.cpp.o.d"
+  "ablation_paillier"
+  "ablation_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shuffle.dir/ablation_shuffle.cpp.o"
+  "CMakeFiles/ablation_shuffle.dir/ablation_shuffle.cpp.o.d"
+  "ablation_shuffle"
+  "ablation_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

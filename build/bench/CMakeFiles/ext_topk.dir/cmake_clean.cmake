@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topk.dir/ext_topk.cpp.o"
+  "CMakeFiles/ext_topk.dir/ext_topk.cpp.o.d"
+  "ext_topk"
+  "ext_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

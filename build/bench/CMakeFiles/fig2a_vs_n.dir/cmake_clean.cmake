@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_vs_n.dir/fig2a_vs_n.cpp.o"
+  "CMakeFiles/fig2a_vs_n.dir/fig2a_vs_n.cpp.o.d"
+  "fig2a_vs_n"
+  "fig2a_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

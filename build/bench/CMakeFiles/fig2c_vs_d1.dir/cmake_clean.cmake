@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_vs_d1.dir/fig2c_vs_d1.cpp.o"
+  "CMakeFiles/fig2c_vs_d1.dir/fig2c_vs_d1.cpp.o.d"
+  "fig2c_vs_d1"
+  "fig2c_vs_d1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_vs_d1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

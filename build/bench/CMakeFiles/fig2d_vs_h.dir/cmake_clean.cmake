@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2d_vs_h.dir/fig2d_vs_h.cpp.o"
+  "CMakeFiles/fig2d_vs_h.dir/fig2d_vs_h.cpp.o.d"
+  "fig2d_vs_h"
+  "fig2d_vs_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2d_vs_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

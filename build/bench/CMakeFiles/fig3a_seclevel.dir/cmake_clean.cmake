@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_seclevel.dir/fig3a_seclevel.cpp.o"
+  "CMakeFiles/fig3a_seclevel.dir/fig3a_seclevel.cpp.o.d"
+  "fig3a_seclevel"
+  "fig3a_seclevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_seclevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

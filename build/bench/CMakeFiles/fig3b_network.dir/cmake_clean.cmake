@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_network.dir/fig3b_network.cpp.o"
+  "CMakeFiles/fig3b_network.dir/fig3b_network.cpp.o.d"
+  "fig3b_network"
+  "fig3b_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_groupops.dir/micro_groupops.cpp.o"
+  "CMakeFiles/micro_groupops.dir/micro_groupops.cpp.o.d"
+  "micro_groupops"
+  "micro_groupops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_groupops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_rounds_comm.dir/tab_rounds_comm.cpp.o"
+  "CMakeFiles/tab_rounds_comm.dir/tab_rounds_comm.cpp.o.d"
+  "tab_rounds_comm"
+  "tab_rounds_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_rounds_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_matching.dir/interest_matching.cpp.o"
+  "CMakeFiles/interest_matching.dir/interest_matching.cpp.o.d"
+  "interest_matching"
+  "interest_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_marketing.dir/online_marketing.cpp.o"
+  "CMakeFiles/online_marketing.dir/online_marketing.cpp.o.d"
+  "online_marketing"
+  "online_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_cli.dir/ppgr_cli.cpp.o"
+  "CMakeFiles/ppgr_cli.dir/ppgr_cli.cpp.o.d"
+  "ppgr_cli"
+  "ppgr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

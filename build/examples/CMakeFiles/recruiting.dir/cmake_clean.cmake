@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recruiting.dir/recruiting.cpp.o"
+  "CMakeFiles/recruiting.dir/recruiting.cpp.o.d"
+  "recruiting"
+  "recruiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recruiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

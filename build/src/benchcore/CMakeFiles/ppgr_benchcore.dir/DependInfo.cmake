@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchcore/calibrate.cpp" "src/benchcore/CMakeFiles/ppgr_benchcore.dir/calibrate.cpp.o" "gcc" "src/benchcore/CMakeFiles/ppgr_benchcore.dir/calibrate.cpp.o.d"
+  "/root/repo/src/benchcore/model.cpp" "src/benchcore/CMakeFiles/ppgr_benchcore.dir/model.cpp.o" "gcc" "src/benchcore/CMakeFiles/ppgr_benchcore.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppgr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppgr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/ppgr_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/dotprod/CMakeFiles/ppgr_dotprod.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/ppgr_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/ppgr_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ppgr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_benchcore.dir/calibrate.cpp.o"
+  "CMakeFiles/ppgr_benchcore.dir/calibrate.cpp.o.d"
+  "CMakeFiles/ppgr_benchcore.dir/model.cpp.o"
+  "CMakeFiles/ppgr_benchcore.dir/model.cpp.o.d"
+  "libppgr_benchcore.a"
+  "libppgr_benchcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_benchcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppgr_benchcore.
+# This may be replaced when dependencies are built.

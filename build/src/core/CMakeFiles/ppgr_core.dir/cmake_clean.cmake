@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_core.dir/codec.cpp.o"
+  "CMakeFiles/ppgr_core.dir/codec.cpp.o.d"
+  "CMakeFiles/ppgr_core.dir/framework.cpp.o"
+  "CMakeFiles/ppgr_core.dir/framework.cpp.o.d"
+  "CMakeFiles/ppgr_core.dir/spec.cpp.o"
+  "CMakeFiles/ppgr_core.dir/spec.cpp.o.d"
+  "CMakeFiles/ppgr_core.dir/ss_framework.cpp.o"
+  "CMakeFiles/ppgr_core.dir/ss_framework.cpp.o.d"
+  "libppgr_core.a"
+  "libppgr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppgr_core.a"
+)

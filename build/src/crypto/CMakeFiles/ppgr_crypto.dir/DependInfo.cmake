@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/codec.cpp" "src/crypto/CMakeFiles/ppgr_crypto.dir/codec.cpp.o" "gcc" "src/crypto/CMakeFiles/ppgr_crypto.dir/codec.cpp.o.d"
+  "/root/repo/src/crypto/elgamal.cpp" "src/crypto/CMakeFiles/ppgr_crypto.dir/elgamal.cpp.o" "gcc" "src/crypto/CMakeFiles/ppgr_crypto.dir/elgamal.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/ppgr_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/ppgr_crypto.dir/paillier.cpp.o.d"
+  "/root/repo/src/crypto/schnorr_proof.cpp" "src/crypto/CMakeFiles/ppgr_crypto.dir/schnorr_proof.cpp.o" "gcc" "src/crypto/CMakeFiles/ppgr_crypto.dir/schnorr_proof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/group/CMakeFiles/ppgr_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ppgr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/ppgr_mpz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

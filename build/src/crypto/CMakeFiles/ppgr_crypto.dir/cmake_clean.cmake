@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_crypto.dir/codec.cpp.o"
+  "CMakeFiles/ppgr_crypto.dir/codec.cpp.o.d"
+  "CMakeFiles/ppgr_crypto.dir/elgamal.cpp.o"
+  "CMakeFiles/ppgr_crypto.dir/elgamal.cpp.o.d"
+  "CMakeFiles/ppgr_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/ppgr_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/ppgr_crypto.dir/schnorr_proof.cpp.o"
+  "CMakeFiles/ppgr_crypto.dir/schnorr_proof.cpp.o.d"
+  "libppgr_crypto.a"
+  "libppgr_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_dotprod.dir/dot_product.cpp.o"
+  "CMakeFiles/ppgr_dotprod.dir/dot_product.cpp.o.d"
+  "libppgr_dotprod.a"
+  "libppgr_dotprod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_dotprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/group/ec_group.cpp" "src/group/CMakeFiles/ppgr_group.dir/ec_group.cpp.o" "gcc" "src/group/CMakeFiles/ppgr_group.dir/ec_group.cpp.o.d"
+  "/root/repo/src/group/fixed_base.cpp" "src/group/CMakeFiles/ppgr_group.dir/fixed_base.cpp.o" "gcc" "src/group/CMakeFiles/ppgr_group.dir/fixed_base.cpp.o.d"
+  "/root/repo/src/group/group.cpp" "src/group/CMakeFiles/ppgr_group.dir/group.cpp.o" "gcc" "src/group/CMakeFiles/ppgr_group.dir/group.cpp.o.d"
+  "/root/repo/src/group/mock_group.cpp" "src/group/CMakeFiles/ppgr_group.dir/mock_group.cpp.o" "gcc" "src/group/CMakeFiles/ppgr_group.dir/mock_group.cpp.o.d"
+  "/root/repo/src/group/schnorr_group.cpp" "src/group/CMakeFiles/ppgr_group.dir/schnorr_group.cpp.o" "gcc" "src/group/CMakeFiles/ppgr_group.dir/schnorr_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpz/CMakeFiles/ppgr_mpz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

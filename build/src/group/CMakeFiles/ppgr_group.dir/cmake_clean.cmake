@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_group.dir/ec_group.cpp.o"
+  "CMakeFiles/ppgr_group.dir/ec_group.cpp.o.d"
+  "CMakeFiles/ppgr_group.dir/fixed_base.cpp.o"
+  "CMakeFiles/ppgr_group.dir/fixed_base.cpp.o.d"
+  "CMakeFiles/ppgr_group.dir/group.cpp.o"
+  "CMakeFiles/ppgr_group.dir/group.cpp.o.d"
+  "CMakeFiles/ppgr_group.dir/mock_group.cpp.o"
+  "CMakeFiles/ppgr_group.dir/mock_group.cpp.o.d"
+  "CMakeFiles/ppgr_group.dir/schnorr_group.cpp.o"
+  "CMakeFiles/ppgr_group.dir/schnorr_group.cpp.o.d"
+  "libppgr_group.a"
+  "libppgr_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppgr_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpz/fp.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/fp.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/fp.cpp.o.d"
+  "/root/repo/src/mpz/modarith.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/modarith.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/modarith.cpp.o.d"
+  "/root/repo/src/mpz/mont.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/mont.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/mont.cpp.o.d"
+  "/root/repo/src/mpz/nat.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/nat.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/nat.cpp.o.d"
+  "/root/repo/src/mpz/prime.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/prime.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/prime.cpp.o.d"
+  "/root/repo/src/mpz/rng.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/rng.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/rng.cpp.o.d"
+  "/root/repo/src/mpz/sint.cpp" "src/mpz/CMakeFiles/ppgr_mpz.dir/sint.cpp.o" "gcc" "src/mpz/CMakeFiles/ppgr_mpz.dir/sint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_mpz.dir/fp.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/fp.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/modarith.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/modarith.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/mont.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/mont.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/nat.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/nat.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/prime.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/prime.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/rng.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/rng.cpp.o.d"
+  "CMakeFiles/ppgr_mpz.dir/sint.cpp.o"
+  "CMakeFiles/ppgr_mpz.dir/sint.cpp.o.d"
+  "libppgr_mpz.a"
+  "libppgr_mpz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_mpz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_net.dir/simulator.cpp.o"
+  "CMakeFiles/ppgr_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/ppgr_net.dir/topology.cpp.o"
+  "CMakeFiles/ppgr_net.dir/topology.cpp.o.d"
+  "libppgr_net.a"
+  "libppgr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

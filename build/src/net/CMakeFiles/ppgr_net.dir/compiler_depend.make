@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ppgr_net.
+# This may be replaced when dependencies are built.

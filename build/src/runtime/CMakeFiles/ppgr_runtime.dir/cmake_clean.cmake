@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_runtime.dir/trace.cpp.o"
+  "CMakeFiles/ppgr_runtime.dir/trace.cpp.o.d"
+  "CMakeFiles/ppgr_runtime.dir/wire.cpp.o"
+  "CMakeFiles/ppgr_runtime.dir/wire.cpp.o.d"
+  "libppgr_runtime.a"
+  "libppgr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sss/mpc_engine.cpp" "src/sss/CMakeFiles/ppgr_sss.dir/mpc_engine.cpp.o" "gcc" "src/sss/CMakeFiles/ppgr_sss.dir/mpc_engine.cpp.o.d"
+  "/root/repo/src/sss/mpc_sort.cpp" "src/sss/CMakeFiles/ppgr_sss.dir/mpc_sort.cpp.o" "gcc" "src/sss/CMakeFiles/ppgr_sss.dir/mpc_sort.cpp.o.d"
+  "/root/repo/src/sss/shamir.cpp" "src/sss/CMakeFiles/ppgr_sss.dir/shamir.cpp.o" "gcc" "src/sss/CMakeFiles/ppgr_sss.dir/shamir.cpp.o.d"
+  "/root/repo/src/sss/sort_network.cpp" "src/sss/CMakeFiles/ppgr_sss.dir/sort_network.cpp.o" "gcc" "src/sss/CMakeFiles/ppgr_sss.dir/sort_network.cpp.o.d"
+  "/root/repo/src/sss/topk.cpp" "src/sss/CMakeFiles/ppgr_sss.dir/topk.cpp.o" "gcc" "src/sss/CMakeFiles/ppgr_sss.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpz/CMakeFiles/ppgr_mpz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgr_sss.dir/mpc_engine.cpp.o"
+  "CMakeFiles/ppgr_sss.dir/mpc_engine.cpp.o.d"
+  "CMakeFiles/ppgr_sss.dir/mpc_sort.cpp.o"
+  "CMakeFiles/ppgr_sss.dir/mpc_sort.cpp.o.d"
+  "CMakeFiles/ppgr_sss.dir/shamir.cpp.o"
+  "CMakeFiles/ppgr_sss.dir/shamir.cpp.o.d"
+  "CMakeFiles/ppgr_sss.dir/sort_network.cpp.o"
+  "CMakeFiles/ppgr_sss.dir/sort_network.cpp.o.d"
+  "CMakeFiles/ppgr_sss.dir/topk.cpp.o"
+  "CMakeFiles/ppgr_sss.dir/topk.cpp.o.d"
+  "libppgr_sss.a"
+  "libppgr_sss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgr_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotprod_test.dir/dotprod_test.cpp.o"
+  "CMakeFiles/dotprod_test.dir/dotprod_test.cpp.o.d"
+  "dotprod_test"
+  "dotprod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotprod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_exhaustive_test.dir/ec_exhaustive_test.cpp.o"
+  "CMakeFiles/ec_exhaustive_test.dir/ec_exhaustive_test.cpp.o.d"
+  "ec_exhaustive_test"
+  "ec_exhaustive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpz_modular_test.dir/mpz_modular_test.cpp.o"
+  "CMakeFiles/mpz_modular_test.dir/mpz_modular_test.cpp.o.d"
+  "mpz_modular_test"
+  "mpz_modular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpz_modular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

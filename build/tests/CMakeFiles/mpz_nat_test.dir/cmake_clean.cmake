@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpz_nat_test.dir/mpz_nat_test.cpp.o"
+  "CMakeFiles/mpz_nat_test.dir/mpz_nat_test.cpp.o.d"
+  "mpz_nat_test"
+  "mpz_nat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpz_nat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_shamir_test.dir/sss_shamir_test.cpp.o"
+  "CMakeFiles/sss_shamir_test.dir/sss_shamir_test.cpp.o.d"
+  "sss_shamir_test"
+  "sss_shamir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_shamir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

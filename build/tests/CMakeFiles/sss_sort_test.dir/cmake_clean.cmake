@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_sort_test.dir/sss_sort_test.cpp.o"
+  "CMakeFiles/sss_sort_test.dir/sss_sort_test.cpp.o.d"
+  "sss_sort_test"
+  "sss_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_topk_test.dir/sss_topk_test.cpp.o"
+  "CMakeFiles/sss_topk_test.dir/sss_topk_test.cpp.o.d"
+  "sss_topk_test"
+  "sss_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
