@@ -4,7 +4,7 @@
 // the paper's reported shape.
 #include "fig2_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppgr::bench;
   std::vector<SweepPoint> points;
   for (const std::size_t m : {5u, 10u, 20u, 40u, 80u, 160u}) {
@@ -14,5 +14,8 @@ int main() {
     points.push_back({m, spec, 25});
   }
   run_fig2_sweep("Fig 2(b)", "m", points);
+  if (const std::size_t p = parse_parallelism(argc, argv); p > 0) {
+    run_parallel_e2e(p);
+  }
   return 0;
 }

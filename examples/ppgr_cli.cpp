@@ -2,7 +2,7 @@
 // plain-text instance description.
 //
 // Usage:
-//   ppgr_cli <instance-file> [--seed N]
+//   ppgr_cli <instance-file> [--seed N] [--parallelism N]
 //
 // Instance format (one directive per line, '#' comments):
 //
@@ -118,18 +118,51 @@ CliInstance parse_file(const std::string& path) {
 
 }  // namespace
 
+namespace {
+
+void print_usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s <instance-file> [--seed N] [--parallelism N]\n"
+      "\n"
+      "  --seed N         deterministic run from ChaCha20 seed N (default:\n"
+      "                   fresh OS entropy)\n"
+      "  --parallelism N  worker threads for the execution engine; 0 = all\n"
+      "                   hardware threads (default 1). Outputs are\n"
+      "                   bit-identical for every N given the same seed.\n"
+      "  --help           show this message\n",
+      prog);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], stdout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <instance-file> [--seed N]\n", argv[0]);
+    print_usage(argv[0], stderr);
     return 2;
   }
   std::uint64_t seed = 0;
   bool seeded = false;
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::string{argv[i]} == "--seed") {
-      seed = std::stoull(argv[i + 1]);
-      seeded = true;
+  std::size_t parallelism = 1;
+  try {
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::string{argv[i]} == "--seed") {
+        seed = std::stoull(argv[i + 1]);
+        seeded = true;
+      } else if (std::string{argv[i]} == "--parallelism") {
+        parallelism = std::stoul(argv[i + 1]);
+      }
     }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "error: --seed and --parallelism need a number\n");
+    return 2;
   }
 
   try {
@@ -141,6 +174,7 @@ int main(int argc, char** argv) {
     cfg.k = inst.k;
     cfg.group = group.get();
     cfg.dot_field = &core::default_dot_field();
+    cfg.parallelism = parallelism;
 
     mpz::ChaChaRng rng = seeded ? mpz::ChaChaRng{seed}
                                 : mpz::ChaChaRng::from_os();

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + full ctest, then the same suite hardened
+# under ASan+UBSan and TSan (CMake presets `asan` / `tsan`). The TSan leg is
+# what proves the parallel execution engine race-free: it runs
+# parallel_determinism_test and runtime_pool_test with real threads.
+#
+# Usage: scripts/ci.sh [plain|asan|tsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+run_leg() {
+  local preset="$1"
+  shift
+  echo "==== [${preset}] configure + build + test ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --preset "${preset}" -j "${JOBS}" "$@"
+}
+
+case "${MODE}" in
+  plain) run_leg default ;;
+  asan) run_leg asan ;;
+  # The full suite takes a while under TSan's instrumentation; the threaded
+  # tests are the ones TSan exists for, so the tsan leg runs those. Pass
+  # extra ctest args (e.g. -R '.') to widen.
+  tsan) run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property' ;;
+  all)
+    run_leg default
+    run_leg asan
+    run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
+    ;;
+  *)
+    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "==== ci.sh: all requested legs green ===="

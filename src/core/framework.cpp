@@ -1,7 +1,10 @@
 #include "core/framework.h"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
+
+#include "runtime/thread_pool.h"
 
 namespace ppgr::core {
 
@@ -12,6 +15,7 @@ using crypto::ct_add_plain;
 using crypto::ct_scale;
 using crypto::encrypt_exp;
 using crypto::rerandomize;
+using mpz::ChaChaRng;
 
 std::size_t scalar_bytes(const Group& g) {
   return (g.order().bit_length() + 7) / 8;
@@ -19,6 +23,30 @@ std::size_t scalar_bytes(const Group& g) {
 
 std::size_t info_bytes(const ProblemSpec& spec) {
   return spec.m * ((spec.d1 + 7) / 8) + 8;  // attributes + rank field
+}
+
+// Stream-id layout for the deterministic parallel engine: every
+// randomness-consuming task draws from its own ChaCha substream identified
+// by (kind, party, index). Ids are a pure function of the task's place in
+// the protocol — never of the schedule — so any thread count replays the
+// exact same randomness (DESIGN.md, "Threading model & determinism").
+enum StreamKind : std::uint64_t {
+  kInitiatorSetup = 0,  // ρ and the ρ_j masks
+  kPartySetup = 1,      // per-party fallback stream (legacy entry points)
+  kPhase1 = 2,          // dot-product disguise (per party)
+  kKeygen = 3,          // ElGamal key share (per party)
+  kProve = 4,           // Schnorr proof nonce (per party)
+  kEncryptBit = 5,      // bitwise β encryption (per party, per bit)
+  kCompare = 6,         // comparison-circuit re-randomization (per pair)
+  kShuffle = 7,         // chain hop (per hop, per owner set)
+};
+
+std::uint64_t stream_id(StreamKind kind, std::size_t party,
+                        std::size_t index) {
+  // kind:8 | party:24 | index:32 — n and l are far below these widths.
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(party) << 32) |
+         static_cast<std::uint64_t>(index);
 }
 
 }  // namespace
@@ -99,13 +127,13 @@ Participant::Participant(const FrameworkConfig& cfg, std::size_t id,
     throw std::invalid_argument("Participant: id must be in [1, n]");
 }
 
-const dotprod::BobRound1& Participant::gain_query() {
+const dotprod::BobRound1& Participant::gain_query(Rng& rng) {
   auto w_prime = participant_vector(*cfg_.dot_field, cfg_.spec, info_);
   // Scale the disguise dimension with the vector so the initiator's linear
   // system stays under-determined (dotprod::recommended_s).
   const std::size_t s =
       std::max(cfg_.dot_s, dotprod::recommended_s(w_prime.size()));
-  dot_.emplace(*cfg_.dot_field, std::move(w_prime), s, rng_);
+  dot_.emplace(*cfg_.dot_field, std::move(w_prime), s, rng);
   return dot_->round1();
 }
 
@@ -117,17 +145,18 @@ void Participant::receive_gain_answer(const dotprod::AliceRound2& answer) {
   beta_ = signed_to_unsigned(beta_signed, cfg_.spec.beta_bits());
 }
 
-const Elem& Participant::public_key() {
+const Elem& Participant::public_key(Rng& rng) {
   if (!key_generated_) {
-    key_ = crypto::keygen(*cfg_.group, rng_);
+    key_ = crypto::keygen(*cfg_.group, rng);
     key_generated_ = true;
   }
   return key_.y;
 }
 
-crypto::SchnorrTranscript Participant::prove_key(std::size_t n_verifiers) {
-  (void)public_key();
-  return crypto::schnorr_prove(*cfg_.group, key_.x, n_verifiers, rng_);
+crypto::SchnorrTranscript Participant::prove_key(std::size_t n_verifiers,
+                                                 Rng& rng) {
+  (void)public_key(rng);
+  return crypto::schnorr_prove(*cfg_.group, key_.x, n_verifiers, rng);
 }
 
 bool Participant::verify_peer_key(const Elem& y,
@@ -135,19 +164,21 @@ bool Participant::verify_peer_key(const Elem& y,
   return crypto::schnorr_verify(*cfg_.group, y, proof);
 }
 
-std::vector<Ciphertext> Participant::encrypt_beta_bits() {
+Ciphertext Participant::encrypt_beta_bit(std::size_t b, Rng& rng) const {
+  return encrypt_exp(*cfg_.group, joint_key_,
+                     beta_.bit(b) ? Nat{1} : Nat{}, rng);
+}
+
+std::vector<Ciphertext> Participant::encrypt_beta_bits(Rng& rng) {
   const std::size_t l = cfg_.spec.beta_bits();
   std::vector<Ciphertext> out;
   out.reserve(l);
-  for (std::size_t b = 0; b < l; ++b) {
-    out.push_back(encrypt_exp(*cfg_.group, joint_key_,
-                              beta_.bit(b) ? Nat{1} : Nat{}, rng_));
-  }
+  for (std::size_t b = 0; b < l; ++b) out.push_back(encrypt_beta_bit(b, rng));
   return out;
 }
 
 std::vector<Ciphertext> Participant::compare_against(
-    const std::vector<Ciphertext>& peer_bits) const {
+    const std::vector<Ciphertext>& peer_bits, Rng& rng) const {
   const Group& g = *cfg_.group;
   const std::size_t l = cfg_.spec.beta_bits();
   if (peer_bits.size() != l)
@@ -188,21 +219,21 @@ std::vector<Ciphertext> Participant::compare_against(
     // ciphertexts and the own bits, which an adversary could test bit by
     // bit (the paper's Lemma-3 simulator implicitly assumes fresh
     // encryptions here; see DESIGN.md).
-    tau[b] = rerandomize(g, joint_key_, tau[b], rng_);
+    tau[b] = rerandomize(g, joint_key_, tau[b], rng);
     suffix = ct_add(g, suffix, gamma[b]);
   }
   return tau;
 }
 
-void Participant::shuffle_hop(CipherSet& set) {
+void Participant::shuffle_hop(CipherSet& set, Rng& rng) {
   const Group& g = *cfg_.group;
   for (Ciphertext& ct : set) {
     ct = crypto::partial_decrypt(g, key_.x, ct);
-    ct = crypto::exp_randomize(g, ct, g.random_nonzero_scalar(rng_));
+    ct = crypto::exp_randomize(g, ct, g.random_nonzero_scalar(rng));
   }
   // Fisher–Yates with the party's private randomness.
   for (std::size_t i = set.size(); i-- > 1;)
-    std::swap(set[i], set[rng_.below_u64(i + 1)]);
+    std::swap(set[i], set[rng.below_u64(i + 1)]);
 }
 
 std::size_t Participant::compute_rank(const CipherSet& own_set) const {
@@ -222,6 +253,19 @@ std::optional<Initiator::Submission> Participant::submission(
 
 // ---------------- orchestration ----------------
 
+// The parallel execution engine. Structure of every phase:
+//
+//   1. fork-join over an index space (parties, (party, bit) pairs,
+//      (party, peer) pairs, or set owners) — each task works on its own
+//      output slot and draws from its own stream, so the schedule cannot
+//      influence any result;
+//   2. a serial epilogue that records the phase's messages into the trace
+//      in fixed (src, dst) order (message sizes in this protocol are
+//      analytic, so no transfer depends on task results).
+//
+// Consequence: ranks, β values, permutations and the full transfer sequence
+// are bit-identical for every cfg.parallelism value, including the serial
+// engine (parallelism = 1), which runs everything inline on the caller.
 FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                               const AttrVec& w,
                               const std::vector<AttrVec>& infos, Rng& rng) {
@@ -233,109 +277,150 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   const Group& g = *cfg.group;
   const std::size_t ct_bytes = crypto::ciphertext_bytes(g);
 
+  runtime::ThreadPool pool{cfg.parallelism};
+  mpz::StreamFamily streams{rng};
+  const auto task_stream = [&streams](StreamKind kind, std::size_t party,
+                                      std::size_t index) {
+    return streams.stream(stream_id(kind, party, index));
+  };
+
   FrameworkResult result;
   runtime::PartyTimer timer{n + 1};
 
-  Initiator initiator{cfg, v0, w, rng};
+  // Long-lived per-party streams backing the Rng& each party binds at
+  // construction (only the initiator draws from hers at construction time).
+  std::vector<ChaChaRng> party_rngs;
+  party_rngs.reserve(n + 1);
+  party_rngs.push_back(task_stream(kInitiatorSetup, 0, 0));
+  for (std::size_t j = 1; j <= n; ++j)
+    party_rngs.push_back(task_stream(kPartySetup, j, 0));
+
+  Initiator initiator{cfg, v0, w, party_rngs[0]};
   std::vector<Participant> parts;
   parts.reserve(n);
   for (std::size_t j = 1; j <= n; ++j)
-    parts.emplace_back(cfg, j, infos[j - 1], rng);
+    parts.emplace_back(cfg, j, infos[j - 1], party_rngs[j]);
 
   auto& trace = result.trace;
   const std::size_t d = cfg.spec.m + cfg.spec.t + 1;
 
   // ---- Phase 1: secure gain computation ----
   std::vector<const dotprod::BobRound1*> queries(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
-    queries[j] = &parts[j].gain_query();
-    const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
+    ChaChaRng task_rng = task_stream(kPhase1, j + 1, 0);
+    queries[j] = &parts[j].gain_query(task_rng);
+  });
+  const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
+  for (std::size_t j = 0; j < n; ++j)
     trace.record(j + 1, 0, dotprod::bob_message_bytes(*cfg.dot_field, eff_s, d));
-  }
   trace.next_round();
-  std::vector<dotprod::AliceRound2> answers;
-  answers.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  std::vector<dotprod::AliceRound2> answers(n);
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(0);
-    answers.push_back(initiator.answer_gain_query(j + 1, *queries[j]));
+    answers[j] = initiator.answer_gain_query(j + 1, *queries[j]);
+  });
+  for (std::size_t j = 0; j < n; ++j)
     trace.record(0, j + 1, dotprod::alice_message_bytes(*cfg.dot_field));
-  }
   trace.next_round();
-  for (std::size_t j = 0; j < n; ++j) {
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
     parts[j].receive_gain_answer(answers[j]);
-  }
+  });
+  result.betas.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) result.betas.push_back(parts[j].beta());
 
   // ---- Phase 2: unlinkable gain comparison ----
   // Step 5: keys + zero-knowledge proofs (commit/challenge/response rounds).
+  // Per-task trace buffers absorbed in party order keep the transfer
+  // sequence schedule-independent.
   std::vector<Elem> pubkeys(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  std::vector<runtime::TraceBuffer> bufs(n);
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
-    pubkeys[j] = parts[j].public_key();
+    ChaChaRng task_rng = task_stream(kKeygen, j + 1, 0);
+    pubkeys[j] = parts[j].public_key(task_rng);
     for (std::size_t peer = 1; peer <= n; ++peer)
-      if (peer != j + 1) trace.record(j + 1, peer, g.element_bytes());
+      if (peer != j + 1) bufs[j].record(j + 1, peer, g.element_bytes());
+  });
+  for (auto& b : bufs) {
+    trace.absorb(b);
+    b.clear();
   }
   trace.next_round();
   const std::size_t sb = scalar_bytes(g);
   std::vector<crypto::SchnorrTranscript> proofs(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
-    proofs[j] = parts[j].prove_key(n - 1);
+    ChaChaRng task_rng = task_stream(kProve, j + 1, 0);
+    proofs[j] = parts[j].prove_key(n - 1, task_rng);
     // Commitment broadcast + response broadcast; challenges flow back.
     for (std::size_t peer = 1; peer <= n; ++peer) {
       if (peer == j + 1) continue;
-      trace.record(j + 1, peer, g.element_bytes() + sb);  // h and z
-      trace.record(peer, j + 1, sb);                      // challenge c
+      bufs[j].record(j + 1, peer, g.element_bytes() + sb);  // h and z
+      bufs[j].record(peer, j + 1, sb);                      // challenge c
     }
+  });
+  for (auto& b : bufs) {
+    trace.absorb(b);
+    b.clear();
   }
   trace.next_round();
-  for (std::size_t j = 0; j < n; ++j) {
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
     for (std::size_t peer = 0; peer < n; ++peer) {
       if (peer == j) continue;
       if (!parts[j].verify_peer_key(pubkeys[peer], proofs[peer]))
         throw std::runtime_error("run_framework: key proof rejected");
     }
-  }
+  });
   const Elem joint = crypto::joint_public_key(g, pubkeys);
   for (auto& p : parts) p.set_joint_key(joint);
   trace.next_round();
 
-  // Step 6: bitwise encryptions, broadcast.
-  std::vector<std::vector<Ciphertext>> beta_bits(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  // Step 6: bitwise encryptions, broadcast. Fanned out over all n·l
+  // (party, bit) pairs — one encryption, one stream each.
+  std::vector<std::vector<Ciphertext>> beta_bits(
+      n, std::vector<Ciphertext>(l));
+  pool.parallel_for(n * l, [&](std::size_t idx) {
+    const std::size_t j = idx / l;
+    const std::size_t b = idx % l;
     auto scope = timer.time(j + 1);
-    beta_bits[j] = parts[j].encrypt_beta_bits();
+    ChaChaRng task_rng = task_stream(kEncryptBit, j + 1, b);
+    beta_bits[j][b] = parts[j].encrypt_beta_bit(b, task_rng);
+  });
+  for (std::size_t j = 0; j < n; ++j)
     for (std::size_t peer = 1; peer <= n; ++peer)
       if (peer != j + 1) trace.record(j + 1, peer, l * ct_bytes);
-  }
   trace.next_round();
 
-  // Step 7: comparisons; flattened sets go to P1.
-  std::vector<CipherSet> v_sets(n);  // index j-1 = set owned by P_j
-  for (std::size_t j = 0; j < n; ++j) {
+  // Step 7: comparisons; flattened sets go to P1. The n·(n-1) circuit
+  // evaluations are the dominant cost — each (evaluator j, peer i) pair is
+  // an independent task writing its l ciphertexts into a fixed slot.
+  std::vector<CipherSet> v_sets(n, CipherSet((n - 1) * l));
+  pool.parallel_for(n * (n - 1), [&](std::size_t idx) {
+    const std::size_t j = idx / (n - 1);
+    const std::size_t slot = idx % (n - 1);
+    const std::size_t i = slot < j ? slot : slot + 1;  // skip i == j
     auto scope = timer.time(j + 1);
-    CipherSet& set = v_sets[j];
-    set.reserve((n - 1) * l);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i == j) continue;
-      auto tau = parts[j].compare_against(beta_bits[i]);
-      set.insert(set.end(), tau.begin(), tau.end());
-    }
-    if (j != 0) trace.record(j + 1, 1, set.size() * ct_bytes);
-  }
+    ChaChaRng task_rng = task_stream(kCompare, j + 1, i);
+    auto tau = parts[j].compare_against(beta_bits[i], task_rng);
+    std::move(tau.begin(), tau.end(), v_sets[j].begin() + slot * l);
+  });
+  for (std::size_t j = 1; j < n; ++j)
+    trace.record(j + 1, 1, v_sets[j].size() * ct_bytes);
   trace.next_round();
 
-  // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn.
+  // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn. Hops are
+  // inherently sequential, but within a hop the n-1 foreign sets are
+  // decrypted/randomized/permuted independently.
   for (std::size_t hop = 0; hop < n; ++hop) {
-    {
+    pool.parallel_for(n, [&](std::size_t owner) {
+      if (owner == hop) return;  // never touch the own set
       auto scope = timer.time(hop + 1);
-      for (std::size_t owner = 0; owner < n; ++owner) {
-        if (owner == hop) continue;  // never touch the own set
-        parts[hop].shuffle_hop(v_sets[owner]);
-      }
-    }
+      ChaChaRng task_rng = task_stream(kShuffle, hop + 1, owner);
+      parts[hop].shuffle_hop(v_sets[owner], task_rng);
+    });
     if (hop + 1 < n) {
       // Forward the whole vector V to the next participant.
       std::size_t total = 0;
@@ -351,10 +436,10 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
 
   // Step 9 / Phase 3: ranks and submissions.
   result.ranks.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
+  pool.parallel_for(n, [&](std::size_t j) {
     auto scope = timer.time(j + 1);
     result.ranks[j] = parts[j].compute_rank(v_sets[j]);
-  }
+  });
   for (std::size_t j = 0; j < n; ++j) {
     const auto sub = parts[j].submission(result.ranks[j]);
     if (sub) {

@@ -52,6 +52,12 @@ struct FrameworkConfig {
   const Group* group = nullptr;        // DDH group for phase 2
   const FpCtx* dot_field = nullptr;    // prime field for phase 1
   std::size_t dot_s = 8;               // disguise dimension of the dot product
+  /// Execution-engine concurrency for run_framework: 1 = serial (default),
+  /// 0 = hardware concurrency, N = N-way fork-join. Outputs are
+  /// bit-identical for every value (see DESIGN.md, "Threading model &
+  /// determinism"). Must be 1 when `group` is not thread-safe (e.g.
+  /// group::CountingGroup).
+  std::size_t parallelism = 1;
 
   void validate() const;
 };
@@ -98,32 +104,57 @@ class Participant {
   Participant(const FrameworkConfig& cfg, std::size_t id, AttrVec info,
               Rng& rng);
 
+  // Every randomness-consuming step has two forms: the original one drawing
+  // from the Rng bound at construction (kept for direct/single-threaded
+  // use), and an overload taking an explicit Rng — the parallel execution
+  // engine passes each task its own counter-seeded stream so results do not
+  // depend on scheduling (DESIGN.md, "Threading model & determinism").
+
   // --- phase 1 ---
-  [[nodiscard]] const dotprod::BobRound1& gain_query();
+  [[nodiscard]] const dotprod::BobRound1& gain_query() {
+    return gain_query(rng_);
+  }
+  [[nodiscard]] const dotprod::BobRound1& gain_query(Rng& rng);
   void receive_gain_answer(const dotprod::AliceRound2& answer);
   /// Unsigned l-bit masked gain (available after phase 1).
   [[nodiscard]] const Nat& beta() const { return beta_; }
 
   // --- phase 2 ---
   /// Step 5: publish the ElGamal public key share.
-  [[nodiscard]] const Elem& public_key();
-  [[nodiscard]] crypto::SchnorrTranscript prove_key(std::size_t n_verifiers);
+  [[nodiscard]] const Elem& public_key() { return public_key(rng_); }
+  [[nodiscard]] const Elem& public_key(Rng& rng);
+  [[nodiscard]] crypto::SchnorrTranscript prove_key(std::size_t n_verifiers) {
+    return prove_key(n_verifiers, rng_);
+  }
+  [[nodiscard]] crypto::SchnorrTranscript prove_key(std::size_t n_verifiers,
+                                                    Rng& rng);
   [[nodiscard]] bool verify_peer_key(const Elem& y,
                                      const crypto::SchnorrTranscript& proof) const;
   /// Called once all shares are collected.
   void set_joint_key(const Elem& y) { joint_key_ = y; }
   /// Step 6: bitwise encryption of β under the joint key (l ciphertexts,
   /// LSB first).
-  [[nodiscard]] std::vector<Ciphertext> encrypt_beta_bits();
+  [[nodiscard]] std::vector<Ciphertext> encrypt_beta_bits() {
+    return encrypt_beta_bits(rng_);
+  }
+  [[nodiscard]] std::vector<Ciphertext> encrypt_beta_bits(Rng& rng);
+  /// One ciphertext of step 6: E(bit b of β). The engine fans this out
+  /// across the l bits, one Rng stream per bit.
+  [[nodiscard]] Ciphertext encrypt_beta_bit(std::size_t b, Rng& rng) const;
   /// Step 7: homomorphic comparison of own (plaintext) bits against another
   /// participant's encrypted bits; returns E(τ^1..τ^l). A zero among the τ
   /// plaintexts means the peer's β is larger.
   [[nodiscard]] std::vector<Ciphertext> compare_against(
-      const std::vector<Ciphertext>& peer_bits) const;
+      const std::vector<Ciphertext>& peer_bits) const {
+    return compare_against(peer_bits, rng_);
+  }
+  [[nodiscard]] std::vector<Ciphertext> compare_against(
+      const std::vector<Ciphertext>& peer_bits, Rng& rng) const;
   /// Step 8: one chain hop over a peer's set — partial decryption with this
   /// party's key share, per-ciphertext exponent randomization, and a uniform
   /// permutation of the set.
-  void shuffle_hop(CipherSet& set);
+  void shuffle_hop(CipherSet& set) { shuffle_hop(set, rng_); }
+  void shuffle_hop(CipherSet& set, Rng& rng);
   /// Step 9: final decryption of the own returned set; rank = zeros + 1.
   [[nodiscard]] std::size_t compute_rank(const CipherSet& own_set) const;
 
@@ -150,6 +181,10 @@ class Participant {
 struct FrameworkResult {
   std::vector<std::size_t> ranks;          // per participant, 1-based
   std::vector<std::size_t> submitted_ids;  // participants with rank <= k
+  /// Per-participant masked gains β_j — protocol-internal values exposed for
+  /// observability and the determinism tests (this is an in-process
+  /// honest-but-curious simulation; nothing leaves the process).
+  std::vector<Nat> betas;
   runtime::TraceRecorder trace;
   std::vector<double> compute_seconds;     // index 0 = initiator
 };

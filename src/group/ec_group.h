@@ -11,6 +11,7 @@
 // (0x00 for the identity).
 #pragma once
 
+#include <mutex>
 #include <memory>
 
 #include "group/fixed_base.h"
@@ -71,7 +72,9 @@ class EcGroup final : public Group {
   Nat a_mont_;  // curve a in Montgomery form
   Nat b_mont_;
   Elem gen_;
-  // Lazily built comb table for the generator (single-threaded use).
+  // Lazily built comb table for the generator; call_once-guarded so
+  // concurrent exp_g calls from the parallel engine are race-free.
+  mutable std::once_flag gen_table_once_;
   mutable std::unique_ptr<FixedBaseTable> gen_table_;
 };
 

@@ -17,10 +17,10 @@ SchnorrGroup::SchnorrGroup(std::string name, Nat safe_prime)
 Elem SchnorrGroup::generator() const { return Elem{.a = gen_}; }
 
 Elem SchnorrGroup::exp_g(const Nat& scalar) const {
-  if (!gen_table_) {
+  std::call_once(gen_table_once_, [&] {
     gen_table_ = std::make_unique<FixedBaseTable>(*this, generator(),
                                                   q_.bit_length());
-  }
+  });
   return gen_table_->exp(*this, scalar);
 }
 

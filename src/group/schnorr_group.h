@@ -8,6 +8,7 @@
 // Miller-Rabin implementation.
 #pragma once
 
+#include <mutex>
 #include <memory>
 
 #include "group/fixed_base.h"
@@ -47,7 +48,9 @@ class SchnorrGroup final : public Group {
   mpz::MontCtx mont_;
   Nat q_;        // (p-1)/2
   Nat gen_;      // 4, in Montgomery form
-  // Lazily built comb table for the generator (single-threaded use).
+  // Lazily built comb table for the generator; call_once-guarded so
+  // concurrent exp_g calls from the parallel engine are race-free.
+  mutable std::once_flag gen_table_once_;
   mutable std::unique_ptr<FixedBaseTable> gen_table_;
 };
 

@@ -46,15 +46,19 @@ ChaChaRng::ChaChaRng(std::uint64_t seed) {
   *this = ChaChaRng(key);
 }
 
-ChaChaRng::ChaChaRng(const std::array<std::uint8_t, 32>& key) {
+ChaChaRng::ChaChaRng(const std::array<std::uint8_t, 32>& key)
+    : ChaChaRng(key, 0) {}
+
+ChaChaRng::ChaChaRng(const std::array<std::uint8_t, 32>& key,
+                     std::uint64_t stream) {
   static constexpr std::array<std::uint32_t, 4> kSigma = {
       0x61707865u, 0x3320646eu, 0x79622d32u, 0x6b206574u};
   for (int i = 0; i < 4; ++i) state_[i] = kSigma[static_cast<std::size_t>(i)];
   std::memcpy(&state_[4], key.data(), 32);
   state_[12] = 0;  // block counter
   state_[13] = 0;
-  state_[14] = 0;  // nonce
-  state_[15] = 0;
+  state_[14] = static_cast<std::uint32_t>(stream);  // nonce = stream id
+  state_[15] = static_cast<std::uint32_t>(stream >> 32);
 }
 
 ChaChaRng ChaChaRng::from_os() {
@@ -84,6 +88,8 @@ void ChaChaRng::fill(std::span<std::uint8_t> out) {
     done += take;
   }
 }
+
+StreamFamily::StreamFamily(Rng& parent) { parent.fill(key_); }
 
 std::uint64_t Rng::next_u64() {
   std::array<std::uint8_t, 8> b{};

@@ -42,8 +42,12 @@ class ChaChaRng final : public Rng {
  public:
   /// Deterministic: expands a 64-bit seed into the 256-bit key.
   explicit ChaChaRng(std::uint64_t seed);
-  /// Full 256-bit key.
+  /// Full 256-bit key (stream 0).
   explicit ChaChaRng(const std::array<std::uint8_t, 32>& key);
+  /// Keyed substream: the 64-bit `stream` id becomes the ChaCha20 nonce, so
+  /// every id yields an independent keystream under the same key. This is
+  /// the counter-mode stream splitting behind StreamFamily.
+  ChaChaRng(const std::array<std::uint8_t, 32>& key, std::uint64_t stream);
   /// Seeded from the operating system (/dev/urandom).
   static ChaChaRng from_os();
 
@@ -55,6 +59,29 @@ class ChaChaRng final : public Rng {
   std::array<std::uint32_t, 16> state_{};
   std::array<std::uint8_t, 64> buf_{};
   std::size_t pos_ = 64;  // exhausted
+};
+
+/// Splits one parent Rng into arbitrarily many independent substreams.
+///
+/// The constructor draws a single 256-bit family key from the parent; after
+/// that, `stream(id)` is a pure function of (key, id) — the order in which
+/// streams are created or consumed cannot influence their output. This is
+/// the determinism anchor of the parallel execution engine: the framework
+/// derives one stream per (party, task) so that a run with N threads draws
+/// bit-identical randomness to a run with 1 thread (see DESIGN.md,
+/// "Threading model & determinism").
+class StreamFamily {
+ public:
+  /// Draws the 32-byte family key from `parent` (exactly one fill call).
+  explicit StreamFamily(Rng& parent);
+
+  /// Independent deterministic stream for `id`. Thread-safe (const).
+  [[nodiscard]] ChaChaRng stream(std::uint64_t id) const {
+    return ChaChaRng{key_, id};
+  }
+
+ private:
+  std::array<std::uint8_t, 32> key_{};
 };
 
 }  // namespace ppgr::mpz

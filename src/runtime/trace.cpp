@@ -6,28 +6,74 @@
 
 namespace ppgr::runtime {
 
+void TraceBuffer::record(std::size_t src, std::size_t dst, std::size_t bytes) {
+  if (src == dst) throw std::invalid_argument("TraceBuffer: src == dst");
+  staged_.push_back(Transfer{0, src, dst, bytes});
+}
+
+TraceRecorder::TraceRecorder(const TraceRecorder& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  transfers_ = other.transfers_;
+  current_round_ = other.current_round_;
+}
+
+TraceRecorder& TraceRecorder::operator=(const TraceRecorder& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  transfers_ = other.transfers_;
+  current_round_ = other.current_round_;
+  return *this;
+}
+
+TraceRecorder::TraceRecorder(TraceRecorder&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  transfers_ = std::move(other.transfers_);
+  current_round_ = other.current_round_;
+}
+
+TraceRecorder& TraceRecorder::operator=(TraceRecorder&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  transfers_ = std::move(other.transfers_);
+  current_round_ = other.current_round_;
+  return *this;
+}
+
 void TraceRecorder::record(std::size_t src, std::size_t dst,
                            std::size_t bytes) {
   if (src == dst)
     throw std::invalid_argument("TraceRecorder: src == dst");
+  std::lock_guard<std::mutex> lock(mu_);
   transfers_.push_back(Transfer{current_round_, src, dst, bytes});
 }
 
-void TraceRecorder::next_round() { ++current_round_; }
+void TraceRecorder::next_round() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++current_round_;
+}
+
+void TraceRecorder::absorb(const TraceBuffer& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Transfer& t : buf.staged())
+    transfers_.push_back(Transfer{current_round_, t.src, t.dst, t.bytes});
+}
 
 std::size_t TraceRecorder::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<std::size_t> distinct;
   for (const auto& t : transfers_) distinct.insert(t.round);
   return distinct.size();
 }
 
 std::size_t TraceRecorder::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t sum = 0;
   for (const auto& t : transfers_) sum += t.bytes;
   return sum;
 }
 
 std::size_t TraceRecorder::bytes_sent_by(std::size_t party) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t sum = 0;
   for (const auto& t : transfers_)
     if (t.src == party) sum += t.bytes;
@@ -35,13 +81,20 @@ std::size_t TraceRecorder::bytes_sent_by(std::size_t party) const {
 }
 
 std::size_t TraceRecorder::bytes_received_by(std::size_t party) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t sum = 0;
   for (const auto& t : transfers_)
     if (t.dst == party) sum += t.bytes;
   return sum;
 }
 
+std::size_t TraceRecorder::message_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transfers_.size();
+}
+
 void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   transfers_.clear();
   current_round_ = 0;
 }
@@ -60,14 +113,15 @@ PartyTimer::Scope::~Scope() { timer_.add(party_, now_seconds() - start_); }
 double PartyTimer::max_participant_seconds() const {
   double best = 0.0;
   for (std::size_t i = 1; i < seconds_.size(); ++i)
-    best = std::max(best, seconds_[i]);
+    best = std::max(best, seconds_[i].load(std::memory_order_relaxed));
   return best;
 }
 
 double PartyTimer::mean_participant_seconds() const {
   if (seconds_.size() <= 1) return 0.0;
   double sum = 0.0;
-  for (std::size_t i = 1; i < seconds_.size(); ++i) sum += seconds_[i];
+  for (std::size_t i = 1; i < seconds_.size(); ++i)
+    sum += seconds_[i].load(std::memory_order_relaxed);
   return sum / static_cast<double>(seconds_.size() - 1);
 }
 

@@ -7,11 +7,20 @@
 // Simulator to measure wall-clock communication time on the paper's 80-node
 // topology, exactly as the paper ran its frameworks through NS2.
 //
+// Threading: the recorder is safe for concurrent record() calls (internally
+// locked), but the parallel execution engine never contends on that lock in
+// hot loops. Instead each parallel task records into its own TraceBuffer and
+// the orchestrator absorbs the buffers serially, in deterministic task-index
+// order, after the fork-join barrier — so the transfer sequence is
+// bit-identical for any thread count.
+//
 // Party ids: 0 is the initiator P0, 1..n are participants P1..Pn (paper
 // notation).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace ppgr::runtime {
@@ -23,13 +32,39 @@ struct Transfer {
   std::size_t bytes;
 };
 
+/// Per-task, unsynchronized staging area for transfers recorded inside a
+/// parallel region. Round numbers are stamped when the buffer is absorbed
+/// into a TraceRecorder.
+class TraceBuffer {
+ public:
+  void record(std::size_t src, std::size_t dst, std::size_t bytes);
+
+  [[nodiscard]] const std::vector<Transfer>& staged() const { return staged_; }
+  [[nodiscard]] bool empty() const { return staged_.empty(); }
+  void clear() { staged_.clear(); }
+
+ private:
+  std::vector<Transfer> staged_;  // round fields unset (0) until absorbed
+};
+
 class TraceRecorder {
  public:
-  /// Records a message in the current round.
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder& other);
+  TraceRecorder& operator=(const TraceRecorder& other);
+  TraceRecorder(TraceRecorder&& other) noexcept;
+  TraceRecorder& operator=(TraceRecorder&& other) noexcept;
+
+  /// Records a message in the current round. Thread-safe; note that the
+  /// relative order of concurrent records is scheduling-dependent — use
+  /// TraceBuffer + absorb() where the transfer order must be deterministic.
   void record(std::size_t src, std::size_t dst, std::size_t bytes);
   /// Closes the current round; subsequent records belong to the next one.
   /// (Empty rounds are allowed and preserved.)
   void next_round();
+  /// Appends a buffer's transfers (in their staged order) to the current
+  /// round. One lock acquisition per buffer, not per transfer.
+  void absorb(const TraceBuffer& buf);
 
   [[nodiscard]] const std::vector<Transfer>& transfers() const {
     return transfers_;
@@ -39,11 +74,12 @@ class TraceRecorder {
   [[nodiscard]] std::size_t total_bytes() const;
   [[nodiscard]] std::size_t bytes_sent_by(std::size_t party) const;
   [[nodiscard]] std::size_t bytes_received_by(std::size_t party) const;
-  [[nodiscard]] std::size_t message_count() const { return transfers_.size(); }
+  [[nodiscard]] std::size_t message_count() const;
 
   void clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<Transfer> transfers_;
   std::size_t current_round_ = 0;
 };
@@ -51,9 +87,15 @@ class TraceRecorder {
 /// Accumulates computation time per party. The framework orchestrator brackets
 /// each party-local computation with start/stop; the benches report the
 /// maximum / per-participant values the paper plots.
+///
+/// Accumulation is a relaxed atomic add per party, so concurrent tasks that
+/// time work for the same party (e.g. the fanned-out shuffle hop) never race
+/// and never contend on a lock.
 class PartyTimer {
  public:
-  explicit PartyTimer(std::size_t n_parties) : seconds_(n_parties, 0.0) {}
+  explicit PartyTimer(std::size_t n_parties) : seconds_(n_parties) {
+    for (auto& s : seconds_) s.store(0.0, std::memory_order_relaxed);
+  }
 
   /// RAII bracket for one party's local computation.
   class Scope {
@@ -70,10 +112,12 @@ class PartyTimer {
   };
 
   [[nodiscard]] Scope time(std::size_t party) { return Scope{*this, party}; }
-  void add(std::size_t party, double seconds) { seconds_.at(party) += seconds; }
+  void add(std::size_t party, double seconds) {
+    seconds_.at(party).fetch_add(seconds, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] double seconds(std::size_t party) const {
-    return seconds_.at(party);
+    return seconds_.at(party).load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t parties() const { return seconds_.size(); }
   /// Max over participants (excluding party 0, the initiator).
@@ -83,7 +127,7 @@ class PartyTimer {
 
  private:
   static double now_seconds();
-  std::vector<double> seconds_;
+  std::vector<std::atomic<double>> seconds_;
 };
 
 }  // namespace ppgr::runtime

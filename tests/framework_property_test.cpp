@@ -159,5 +159,75 @@ TEST(FrameworkProperty, ZeroWeightsRankByMask) {
   EXPECT_LE(sorted.back(), 3u);
 }
 
+TEST(FrameworkProperty, MinimalMaskMakesTiesDeterministic) {
+  // h = 1 is the bit-width boundary of the ρ masking: ρ is drawn as a 1-bit
+  // value with the top bit forced, so ρ = 1 and every ρ_j ∈ [0, ρ) is 0 —
+  // β_j collapses to the plain gain p_j. Participants with equal gains then
+  // share a rank deterministically, exactly like the insecure reference.
+  const auto g = make_group(GroupId::kDlTest256);
+  FrameworkConfig cfg;
+  cfg.spec = {.m = 2, .t = 1, .d1 = 4, .d2 = 3, .h = 1};
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.group = g.get();
+  cfg.dot_field = &default_dot_field();
+  ChaChaRng rng{515};
+  const AttrVec v0{3, 9};
+  const AttrVec w{5, 2};
+  // Participants 2 and 3 are identical; 1 strictly better, 4 strictly worse.
+  const std::vector<AttrVec> infos{{3, 15}, {3, 9}, {3, 9}, {3, 1}};
+  const auto result = run_framework(cfg, v0, w, infos, rng);
+  const auto expect = reference_ranks(cfg.spec, v0, w, infos);
+  EXPECT_EQ(result.ranks, expect);
+  EXPECT_EQ(result.ranks[1], result.ranks[2]) << "equal gains must tie at h=1";
+  // With ρ = 1 and ρ_j = 0, β_j is exactly the l-bit unsigned encoding of
+  // the plain partial gain — no masking randomness left.
+  const std::size_t l = cfg.spec.beta_bits();
+  for (std::size_t j = 0; j < cfg.n; ++j) {
+    EXPECT_EQ(result.betas[j],
+              signed_to_unsigned(partial_gain(cfg.spec, v0, w, infos[j]), l))
+        << "participant " << j + 1;
+  }
+}
+
+TEST(FrameworkProperty, KEqualsNEveryoneSubmitsInRankOrder) {
+  const auto g = make_group(GroupId::kDlTest256);
+  FrameworkConfig cfg;
+  cfg.spec = {.m = 2, .t = 1, .d1 = 5, .d2 = 3, .h = 4};
+  cfg.n = 5;
+  cfg.k = 5;  // k = n: the top-k filter accepts everyone
+  cfg.group = g.get();
+  cfg.dot_field = &default_dot_field();
+  ChaChaRng rng{616};
+  const std::vector<AttrVec> infos{{1, 2}, {9, 9}, {4, 4}, {0, 1}, {7, 3}};
+  const auto result = run_framework(cfg, {0, 0}, {3, 1}, infos, rng);
+  ASSERT_EQ(result.submitted_ids.size(), cfg.n);
+  // Every participant id appears exactly once.
+  auto ids = result.submitted_ids;
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t j = 0; j < cfg.n; ++j) EXPECT_EQ(ids[j], j + 1);
+  // And all ranks are within [1, n] with rank 1 present.
+  auto sorted = result.ranks;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.front(), 1u);
+  EXPECT_LE(sorted.back(), cfg.n);
+}
+
+TEST(FrameworkProperty, SingleParticipantIsRejected) {
+  // n = 1 has no peers to compare against; the config validator must refuse
+  // it rather than run a degenerate protocol.
+  const auto g = make_group(GroupId::kDlTest256);
+  FrameworkConfig cfg;
+  cfg.spec = {.m = 2, .t = 1, .d1 = 5, .d2 = 3, .h = 4};
+  cfg.n = 1;
+  cfg.k = 1;
+  cfg.group = g.get();
+  cfg.dot_field = &default_dot_field();
+  ChaChaRng rng{717};
+  const std::vector<AttrVec> infos{{1, 2}};
+  EXPECT_THROW(run_framework(cfg, {0, 0}, {1, 1}, infos, rng),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ppgr::core
