@@ -1,0 +1,190 @@
+// Shared command-line flags for the figure benchmarks. Every fig2/fig3
+// binary documents and accepts the same optional flags:
+//
+//   --parallelism N    add a real end-to-end run through the parallel
+//                      execution engine (serial baseline vs N threads)
+//   --metrics-out FILE export the end-to-end run's per-phase crypto-op
+//                      counters as JSON (schema ppgr.metrics.v1)
+//   --trace-out FILE   export the end-to-end run's Chrome trace-event JSON
+//
+// The modeled sweeps price a single participant from exact op counts, so
+// they cannot show engine-level behaviour; any of the flags above adds a
+// small-but-real dl-test-256 instance executed end to end, which is where
+// the metrics and trace exports come from. Output paths are opened before
+// the (potentially long) sweep so a typo'd directory fails immediately.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/framework.h"
+
+namespace ppgr::bench {
+
+struct BenchFlags {
+  std::size_t parallelism = 0;  // 0 = not requested
+  std::string metrics_path;
+  std::string trace_path;
+  std::optional<std::ofstream> metrics_out;
+  std::optional<std::ofstream> trace_out;
+
+  /// Any flag asks for the real end-to-end engine run.
+  [[nodiscard]] bool e2e_requested() const {
+    return parallelism > 0 || metrics_out.has_value() || trace_out.has_value();
+  }
+};
+
+inline void print_bench_flags_help(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [--parallelism N] [--metrics-out FILE] [--trace-out FILE]\n"
+      "\n"
+      "With no flags the binary prints its modeled sweep only. Any flag\n"
+      "below additionally runs a small real instance end to end through the\n"
+      "parallel execution engine:\n"
+      "  --parallelism N    worker threads for the end-to-end run; 0 = all\n"
+      "                     hardware threads. Compared against the serial\n"
+      "                     baseline with a bit-identity check. (default\n"
+      "                     when only an export flag is given: 1)\n"
+      "  --metrics-out FILE write the end-to-end run's per-phase crypto-op\n"
+      "                     counters as JSON (schema ppgr.metrics.v1) and\n"
+      "                     print a per-phase report\n"
+      "  --trace-out FILE   write the end-to-end run's Chrome trace-event\n"
+      "                     JSON (open in about:tracing or\n"
+      "                     https://ui.perfetto.dev)\n"
+      "  --help             show this message\n",
+      prog);
+}
+
+/// Opens an export path for writing, failing fast (exit 2) so a typo'd
+/// directory does not cost a full sweep. Same contract as ppgr_cli.
+inline std::ofstream open_bench_out(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n", path.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Parses the shared flags. Exits 0 on --help, 2 on an unknown option, a
+/// missing argument or an unwritable output path.
+inline BenchFlags parse_bench_flags(int argc, char** argv) {
+  BenchFlags flags;
+  bool parallelism_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        print_bench_flags_help(argv[0], stdout);
+        std::exit(0);
+      } else if (arg == "--parallelism") {
+        flags.parallelism = std::stoul(value());
+        parallelism_given = true;
+      } else if (arg == "--metrics-out") {
+        flags.metrics_path = value();
+      } else if (arg == "--trace-out") {
+        flags.trace_path = value();
+      } else {
+        std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+        print_bench_flags_help(argv[0], stderr);
+        std::exit(2);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: bad value for %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  // An export flag alone implies a single-threaded end-to-end run;
+  // `--parallelism 0` explicitly means all hardware threads.
+  if (!parallelism_given &&
+      (!flags.metrics_path.empty() || !flags.trace_path.empty())) {
+    flags.parallelism = 1;
+  }
+  if (!flags.metrics_path.empty())
+    flags.metrics_out = open_bench_out(flags.metrics_path);
+  if (!flags.trace_path.empty())
+    flags.trace_out = open_bench_out(flags.trace_path);
+  return flags;
+}
+
+/// Real end-to-end run of the HE framework through the parallel execution
+/// engine: serial baseline vs `flags.parallelism` threads on the same seed,
+/// with a determinism check, plus the metrics/trace exports when requested.
+/// Complements the modeled sweeps, which price a single participant and
+/// therefore cannot show engine-level speedup.
+inline void run_parallel_e2e(BenchFlags& flags, std::size_t n = 16) {
+  const auto g = group::make_group(group::GroupId::kDlTest256);
+  core::FrameworkConfig cfg;
+  cfg.spec = core::ProblemSpec{.m = 4, .t = 2, .d1 = 8, .d2 = 6, .h = 8};
+  cfg.n = n;
+  cfg.k = 3;
+  cfg.group = g.get();
+  cfg.dot_field = &core::default_dot_field();
+  cfg.metrics = flags.metrics_out.has_value() || flags.trace_out.has_value();
+
+  core::AttrVec v0(cfg.spec.m, 7), w(cfg.spec.m, 3);
+  std::vector<core::AttrVec> infos;
+  for (std::size_t j = 0; j < n; ++j) {
+    infos.emplace_back(cfg.spec.m, (j * 11 + 5) % (1u << cfg.spec.d1));
+  }
+
+  const auto timed_run = [&](std::size_t p) {
+    cfg.parallelism = p;
+    mpz::ChaChaRng rng{1234};
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = core::run_framework(cfg, v0, w, infos, rng);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::make_pair(wall, std::move(res));
+  };
+
+  std::printf("end-to-end engine check: group=%s n=%zu l=%zu\n",
+              g->name().c_str(), n, cfg.spec.beta_bits());
+  const auto [serial_s, serial] = timed_run(1);
+  const auto [par_s, par] = timed_run(flags.parallelism);
+  bool same = serial.ranks == par.ranks &&
+              serial.submitted_ids == par.submitted_ids &&
+              serial.trace.total_bytes() == par.trace.total_bytes();
+  if (cfg.metrics) {
+    // The deterministic exports must be bit-identical across thread counts.
+    same = same &&
+           serial.metrics->to_json(/*include_timing=*/false) ==
+               par.metrics->to_json(/*include_timing=*/false) &&
+           serial.spans->chrome_trace_json(/*deterministic=*/true) ==
+               par.spans->chrome_trace_json(/*deterministic=*/true);
+  }
+  std::printf(
+      "  parallelism=1: %.3fs   parallelism=%zu: %.3fs   speedup=%.2fx   "
+      "outputs identical: %s\n\n",
+      serial_s, flags.parallelism, par_s, serial_s / par_s,
+      same ? "yes" : "NO");
+
+  if (flags.metrics_out) {
+    *flags.metrics_out << par.metrics->to_json(/*include_timing=*/true);
+    std::printf("%s\nmetrics JSON written to %s\n",
+                runtime::phase_report(*par.metrics, par.spans.get()).c_str(),
+                flags.metrics_path.c_str());
+  }
+  if (flags.trace_out) {
+    *flags.trace_out << par.spans->chrome_trace_json(/*deterministic=*/false);
+    std::printf("Chrome trace written to %s (open in about:tracing)\n",
+                flags.trace_path.c_str());
+  }
+}
+
+}  // namespace ppgr::bench

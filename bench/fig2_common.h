@@ -11,11 +11,10 @@
 // comparison) — the comparison the paper actually drew. See EXPERIMENTS.md.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "bench_flags.h"
 #include "benchcore/model.h"
 #include "core/framework.h"
 #include "sss/mpc_sort.h"
@@ -83,60 +82,6 @@ inline void run_fig2_sweep(const std::string& figure,
                TablePrinter::fmt_count(dlp.per_participant.exps)});
   }
   std::printf("\n");
-}
-
-/// `--parallelism N` on a fig2 binary's command line; 0 (absent) keeps the
-/// modeled sweep only.
-inline std::size_t parse_parallelism(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--parallelism") == 0) {
-      return static_cast<std::size_t>(std::stoul(argv[i + 1]));
-    }
-  }
-  return 0;
-}
-
-/// Real end-to-end run of the HE framework through the parallel execution
-/// engine: serial baseline vs `parallelism` threads on the same seed, with a
-/// determinism check. Complements the modeled sweep above, which prices a
-/// single participant and therefore cannot show engine-level speedup.
-inline void run_parallel_e2e(std::size_t parallelism, std::size_t n = 16) {
-  const auto g = group::make_group(group::GroupId::kDlTest256);
-  core::FrameworkConfig cfg;
-  cfg.spec = core::ProblemSpec{.m = 4, .t = 2, .d1 = 8, .d2 = 6, .h = 8};
-  cfg.n = n;
-  cfg.k = 3;
-  cfg.group = g.get();
-  cfg.dot_field = &core::default_dot_field();
-
-  core::AttrVec v0(cfg.spec.m, 7), w(cfg.spec.m, 3);
-  std::vector<core::AttrVec> infos;
-  for (std::size_t j = 0; j < n; ++j) {
-    infos.emplace_back(cfg.spec.m, (j * 11 + 5) % (1u << cfg.spec.d1));
-  }
-
-  const auto timed_run = [&](std::size_t p) {
-    cfg.parallelism = p;
-    mpz::ChaChaRng rng{1234};
-    const auto t0 = std::chrono::steady_clock::now();
-    auto res = core::run_framework(cfg, v0, w, infos, rng);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    return std::make_pair(wall, std::move(res));
-  };
-
-  std::printf("end-to-end engine check: group=%s n=%zu l=%zu\n",
-              g->name().c_str(), n, cfg.spec.beta_bits());
-  const auto [serial_s, serial] = timed_run(1);
-  const auto [par_s, par] = timed_run(parallelism);
-  const bool same = serial.ranks == par.ranks &&
-                    serial.submitted_ids == par.submitted_ids &&
-                    serial.trace.total_bytes() == par.trace.total_bytes();
-  std::printf(
-      "  parallelism=1: %.3fs   parallelism=%zu: %.3fs   speedup=%.2fx   "
-      "outputs identical: %s\n\n",
-      serial_s, parallelism, par_s, serial_s / par_s, same ? "yes" : "NO");
 }
 
 }  // namespace ppgr::bench

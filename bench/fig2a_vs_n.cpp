@@ -6,13 +6,12 @@
 
 int main(int argc, char** argv) {
   using namespace ppgr::bench;
+  BenchFlags flags = parse_bench_flags(argc, argv);
   std::vector<SweepPoint> points;
   for (const std::size_t n : {10u, 20u, 25u, 30u, 40u, 55u, 70u, 85u, 100u}) {
     points.push_back({n, ppgr::benchcore::paper_default_spec(), n});
   }
   run_fig2_sweep("Fig 2(a)", "n", points);
-  if (const std::size_t p = parse_parallelism(argc, argv); p > 0) {
-    run_parallel_e2e(p);
-  }
+  if (flags.e2e_requested()) run_parallel_e2e(flags);
   return 0;
 }

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace ppgr::bench;
+  BenchFlags flags = parse_bench_flags(argc, argv);
   std::vector<SweepPoint> points;
   for (const std::size_t m : {5u, 10u, 20u, 40u, 80u, 160u}) {
     auto spec = ppgr::benchcore::paper_default_spec();
@@ -14,8 +15,6 @@ int main(int argc, char** argv) {
     points.push_back({m, spec, 25});
   }
   run_fig2_sweep("Fig 2(b)", "m", points);
-  if (const std::size_t p = parse_parallelism(argc, argv); p > 0) {
-    run_parallel_e2e(p);
-  }
+  if (flags.e2e_requested()) run_parallel_e2e(flags);
   return 0;
 }

@@ -3,8 +3,9 @@
 // paper's reported shape.
 #include "fig2_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppgr::bench;
+  BenchFlags flags = parse_bench_flags(argc, argv);
   std::vector<SweepPoint> points;
   for (const std::size_t d1 : {5u, 10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
     auto spec = ppgr::benchcore::paper_default_spec();
@@ -12,5 +13,6 @@ int main() {
     points.push_back({d1, spec, 25});
   }
   run_fig2_sweep("Fig 2(c)", "d1", points);
+  if (flags.e2e_requested()) run_parallel_e2e(flags);
   return 0;
 }

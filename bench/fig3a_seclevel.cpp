@@ -7,11 +7,13 @@
 // advantage grows with the security level.
 #include <cstdio>
 
+#include "bench_flags.h"
 #include "benchcore/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppgr;
   using benchcore::TablePrinter;
+  bench::BenchFlags flags = bench::parse_bench_flags(argc, argv);
   struct Level {
     int sym_bits;
     group::GroupId dl;
@@ -49,6 +51,7 @@ int main() {
                TablePrinter::fmt_seconds(ecp.total_seconds()), rbuf});
   }
   std::printf("\nExpected shape: ECC faster at every level; the DL/ECC gap "
-              "widens as the security level rises.\n");
+              "widens as the security level rises.\n\n");
+  if (flags.e2e_requested()) bench::run_parallel_e2e(flags);
   return 0;
 }

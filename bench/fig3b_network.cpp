@@ -17,6 +17,7 @@
 // ECC best throughout.
 #include <cstdio>
 
+#include "bench_flags.h"
 #include "benchcore/model.h"
 #include "net/simulator.h"
 #include "sss/mpc_sort.h"
@@ -43,9 +44,10 @@ double all_to_all_rounds_seconds(ppgr::net::Simulator& sim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppgr;
   using benchcore::TablePrinter;
+  bench::BenchFlags flags = bench::parse_bench_flags(argc, argv);
 
   // The paper's network.
   mpz::ChaChaRng topo_rng{80320};
@@ -131,6 +133,7 @@ int main() {
       "driven by its\ninteraction traffic, DL by bulk chain transfers — but "
       "the specific SS<DL\nsmall-n crossover the paper reports does not "
       "emerge under store-and-forward\nreplay of the full protocol volumes; "
-      "see the Fig 3(b) analysis in\nEXPERIMENTS.md.\n");
+      "see the Fig 3(b) analysis in\nEXPERIMENTS.md.\n\n");
+  if (flags.e2e_requested()) bench::run_parallel_e2e(flags);
   return 0;
 }

@@ -63,6 +63,9 @@ int main(int argc, char** argv) {
   cfg.k = 3;
   cfg.group = g.get();
   cfg.dot_field = &core::default_dot_field();
+  // Per-phase breakdowns for the JSON report; also lets the bit-identity
+  // check below cover the deterministic metrics/span exports.
+  cfg.metrics = true;
 
   const auto instance_rng = [&] { return mpz::ChaChaRng{4242}; };
   core::AttrVec v0(cfg.spec.m), w(cfg.spec.m);
@@ -100,7 +103,11 @@ int main(int argc, char** argv) {
     const auto& cur = runs.back().result;
     const bool identical =
         base.ranks == cur.ranks && base.submitted_ids == cur.submitted_ids &&
-        base.trace.total_bytes() == cur.trace.total_bytes();
+        base.trace.total_bytes() == cur.trace.total_bytes() &&
+        base.metrics->to_json(/*include_timing=*/false) ==
+            cur.metrics->to_json(/*include_timing=*/false) &&
+        base.spans->chrome_trace_json(/*deterministic=*/true) ==
+            cur.spans->chrome_trace_json(/*deterministic=*/true);
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: parallelism=%zu output differs from serial\n", p);
@@ -129,10 +136,34 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < runs.size(); ++i) {
     std::fprintf(out,
                  "    {\"parallelism\": %zu, \"wall_seconds\": %.6f, "
-                 "\"speedup_vs_serial\": %.4f, \"outputs_identical\": true}%s\n",
+                 "\"speedup_vs_serial\": %.4f, \"outputs_identical\": true,\n"
+                 "     \"phases\": [\n",
                  runs[i].parallelism, runs[i].wall_seconds,
-                 runs.front().wall_seconds / runs[i].wall_seconds,
-                 i + 1 < runs.size() ? "," : "");
+                 runs.front().wall_seconds / runs[i].wall_seconds);
+    // Per-phase breakdown: wall seconds from the depth-1 phase spans, op
+    // counters from the metrics registry (counters are identical across
+    // runs by the bit-identity check above; wall time is not).
+    const auto walls = runs[i].result.spans->phase_wall_seconds();
+    for (std::size_t p = 0; p < runtime::kPhaseCount; ++p) {
+      const auto ops = runs[i].result.metrics->phase_totals(
+          static_cast<runtime::Phase>(p));
+      const auto c = [&ops](runtime::CryptoOp op) {
+        return static_cast<unsigned long long>(ops[op]);
+      };
+      std::fprintf(
+          out,
+          "      {\"phase\": \"%s\", \"wall_seconds\": %.6f, "
+          "\"group_exps\": %llu, \"group_exp_g\": %llu, "
+          "\"group_muls\": %llu, \"compare_circuits\": %llu, "
+          "\"shuffle_hops\": %llu}%s\n",
+          runtime::phase_name(static_cast<runtime::Phase>(p)), walls[p],
+          c(runtime::CryptoOp::kGroupExp), c(runtime::CryptoOp::kGroupExpG),
+          c(runtime::CryptoOp::kGroupMul),
+          c(runtime::CryptoOp::kCompareCircuit),
+          c(runtime::CryptoOp::kShuffleHop),
+          p + 1 < runtime::kPhaseCount ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

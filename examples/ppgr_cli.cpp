@@ -26,6 +26,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -124,14 +125,29 @@ void print_usage(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %s <instance-file> [--seed N] [--parallelism N]\n"
+      "       [--metrics-out FILE] [--trace-out FILE]\n"
       "\n"
-      "  --seed N         deterministic run from ChaCha20 seed N (default:\n"
-      "                   fresh OS entropy)\n"
-      "  --parallelism N  worker threads for the execution engine; 0 = all\n"
-      "                   hardware threads (default 1). Outputs are\n"
-      "                   bit-identical for every N given the same seed.\n"
-      "  --help           show this message\n",
+      "  --seed N           deterministic run from ChaCha20 seed N (default:\n"
+      "                     fresh OS entropy)\n"
+      "  --parallelism N    worker threads for the execution engine; 0 = all\n"
+      "                     hardware threads (default 1). Outputs are\n"
+      "                     bit-identical for every N given the same seed.\n"
+      "  --metrics-out FILE write per-phase crypto-op counters as JSON\n"
+      "                     (schema ppgr.metrics.v1) and print a per-phase\n"
+      "                     report to stdout\n"
+      "  --trace-out FILE   write Chrome trace-event JSON (open in\n"
+      "                     about:tracing or https://ui.perfetto.dev)\n"
+      "  --help             show this message\n",
       prog);
+}
+
+/// Opens an output path for writing, failing fast (before the protocol
+/// runs) so a typo'd directory doesn't cost a full run.
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out{path};
+  if (!out)
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  return out;
 }
 
 }  // namespace
@@ -151,22 +167,43 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool seeded = false;
   std::size_t parallelism = 1;
+  std::string metrics_path;
+  std::string trace_path;
   try {
-    for (int i = 2; i + 1 < argc; ++i) {
-      if (std::string{argv[i]} == "--seed") {
-        seed = std::stoull(argv[i + 1]);
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg{argv[i]};
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(arg + " needs an argument");
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        seed = std::stoull(value());
         seeded = true;
-      } else if (std::string{argv[i]} == "--parallelism") {
-        parallelism = std::stoul(argv[i + 1]);
+      } else if (arg == "--parallelism") {
+        parallelism = std::stoul(value());
+      } else if (arg == "--metrics-out") {
+        metrics_path = value();
+      } else if (arg == "--trace-out") {
+        trace_path = value();
+      } else {
+        throw std::invalid_argument("unknown option '" + arg + "'");
       }
     }
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "error: --seed and --parallelism need a number\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(argv[0], stderr);
     return 2;
   }
 
   try {
     const CliInstance inst = parse_file(argv[1]);
+    // Validate output paths before spending time on the protocol run.
+    std::optional<std::ofstream> metrics_out;
+    std::optional<std::ofstream> trace_out;
+    if (!metrics_path.empty()) metrics_out = open_out(metrics_path);
+    if (!trace_path.empty()) trace_out = open_out(trace_path);
+
     const auto group = group::make_group(inst.group_id);
     core::FrameworkConfig cfg;
     cfg.spec = inst.spec;
@@ -175,6 +212,7 @@ int main(int argc, char** argv) {
     cfg.group = group.get();
     cfg.dot_field = &core::default_dot_field();
     cfg.parallelism = parallelism;
+    cfg.metrics = metrics_out.has_value() || trace_out.has_value();
 
     mpz::ChaChaRng rng = seeded ? mpz::ChaChaRng{seed}
                                 : mpz::ChaChaRng::from_os();
@@ -190,6 +228,23 @@ int main(int argc, char** argv) {
     }
     std::printf("\nrounds=%zu messages=%zu bytes=%zu\n", result.trace.rounds(),
                 result.trace.message_count(), result.trace.total_bytes());
+
+    if (metrics_out) {
+      *metrics_out << result.metrics->to_json(/*include_timing=*/true);
+      if (!*metrics_out)
+        throw std::runtime_error("failed writing '" + metrics_path + "'");
+      std::printf("\n%s\nmetrics JSON written to %s\n",
+                  runtime::phase_report(*result.metrics, result.spans.get())
+                      .c_str(),
+                  metrics_path.c_str());
+    }
+    if (trace_out) {
+      *trace_out << result.spans->chrome_trace_json(/*deterministic=*/false);
+      if (!*trace_out)
+        throw std::runtime_error("failed writing '" + trace_path + "'");
+      std::printf("Chrome trace written to %s (open in about:tracing)\n",
+                  trace_path.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -4,7 +4,13 @@
 # what proves the parallel execution engine race-free: it runs
 # parallel_determinism_test and runtime_pool_test with real threads.
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|all]   (default: all)
+# The `metrics` mode is the focused observability leg: it runs the metrics
+# unit tests, the golden exporter test and the model-vs-measured self-check
+# (bench/validate_model --check) under ASan+UBSan — CI fails on any counter
+# drift between the runtime metrics and the analytical cost model. The full
+# asan/plain legs also include these tests via ctest.
+#
+# Usage: scripts/ci.sh [plain|asan|tsan|metrics|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,13 +33,14 @@ case "${MODE}" in
   # tests are the ones TSan exists for, so the tsan leg runs those. Pass
   # extra ctest args (e.g. -R '.') to widen.
   tsan) run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property' ;;
+  metrics) run_leg asan -R 'runtime_metrics|metrics_export|model_validation' ;;
   all)
     run_leg default
     run_leg asan
     run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|metrics|all]" >&2
     exit 2
     ;;
 esac

@@ -51,15 +51,25 @@ HeCounts count_he_framework(const ProblemSpec& spec, std::size_t n,
   cfg.k = k;
   cfg.group = &counted;
   cfg.dot_field = &core::default_dot_field();
+  // Record runtime metrics alongside the CountingGroup totals: the two
+  // count the same interface-level operations, so bench/validate_model can
+  // assert they agree exactly.
+  cfg.metrics = true;
 
   const Instance inst = random_instance(spec, n, seed);
   mpz::ChaChaRng rng{seed + 1};
   auto result = core::run_framework(cfg, inst.v0, inst.w, inst.infos, rng);
 
   HeCounts counts;
-  // The initiator performs no group operations, so the per-participant
-  // share of the counted totals is exactly totals / n.
+  for (std::size_t p = 0; p < runtime::kPhaseCount; ++p)
+    counts.phase_ops[p] =
+        result.metrics->phase_totals(static_cast<runtime::Phase>(p));
+  // The initiator performs no group operations, so the counted totals are
+  // all participant work; the per-participant share is totals / n (integer
+  // division — comparison-circuit cost varies slightly with each party's
+  // own β bit pattern, so the division is a mean, not exact per party).
   const auto& totals = counted.counts();
+  counts.totals = totals;
   counts.per_participant.muls = totals.muls / n;
   counts.per_participant.exps = totals.exps / n;
   counts.per_participant.gexps = totals.gexps / n;

@@ -58,6 +58,12 @@ struct HePoint {
 /// recorded trace depends on the modeled element size).
 struct HeCounts {
   group::OpCounts per_participant;
+  /// Undivided CountingGroup totals of the counted run — the model-side
+  /// numbers bench/validate_model cross-checks against the runtime metrics.
+  group::OpCounts totals;
+  /// Measured per-phase op tallies from the same run's MetricsRegistry
+  /// (the counted run executes with FrameworkConfig::metrics enabled).
+  std::array<runtime::OpTally, runtime::kPhaseCount> phase_ops{};
   runtime::TraceRecorder trace;
   std::size_t rounds = 0;
   std::size_t total_bytes = 0;

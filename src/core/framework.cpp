@@ -4,6 +4,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "group/metered_group.h"
 #include "runtime/thread_pool.h"
 
 namespace ppgr::core {
@@ -48,6 +49,89 @@ std::uint64_t stream_id(StreamKind kind, std::size_t party,
          (static_cast<std::uint64_t>(party) << 32) |
          static_cast<std::uint64_t>(index);
 }
+
+using runtime::Phase;
+
+// Observability staging for run_framework. Mirrors the TraceBuffer
+// discipline: each parallel task gets its own MetricsBuffer + SpanBuffer
+// (installed/opened by task()), and after the fork-join barrier collect()
+// absorbs them in task-index order — so the span stream and counter slots
+// are bit-identical for every parallelism value. Orchestrator-level work
+// (e.g. the joint-key product) is counted through a long-lived buffer whose
+// (phase, party=-1) context follows set_phase(). When cfg.metrics is off
+// every method is a no-op and no sink is ever installed.
+class Obs {
+ public:
+  Obs(bool enabled, runtime::MetricsRegistry* reg, runtime::SpanRecorder* rec)
+      : reg_(reg), rec_(rec) {
+    if (enabled)
+      orch_scope_.emplace(&orch_buf_, Phase::kSetup,
+                          runtime::kOrchestratorParty);
+  }
+  ~Obs() {
+    if (!on()) return;
+    orch_scope_.reset();  // uninstall before draining the buffer
+    reg_->absorb(orch_buf_);
+  }
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  [[nodiscard]] bool on() const { return orch_scope_.has_value(); }
+  /// Sink for orchestrator-level SpanScopes (framework / phase / step).
+  [[nodiscard]] runtime::SpanSink* span_sink() const {
+    return on() ? static_cast<runtime::SpanSink*>(rec_) : nullptr;
+  }
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  void set_phase(Phase p) {
+    phase_ = p;
+    if (on()) orch_buf_.set_context(p, runtime::kOrchestratorParty);
+  }
+
+  /// Prepares per-task staging buffers for a fork-join of `tasks` tasks.
+  void stage(std::size_t tasks) {
+    if (!on()) return;
+    mbufs_.assign(tasks, {});
+    sbufs_.assign(tasks, {});
+  }
+
+  /// Per-task RAII guard: routes this thread's metric counts to the task's
+  /// buffer and opens the task span. Returns an empty guard when disabled.
+  struct TaskGuard {
+    std::unique_ptr<runtime::MetricsScope> metrics;
+    std::unique_ptr<runtime::SpanScope> span;
+  };
+  [[nodiscard]] TaskGuard task(std::size_t idx, std::int32_t party,
+                               const char* name, std::uint64_t arg = 0) {
+    TaskGuard guard;
+    if (on()) {
+      guard.metrics =
+          std::make_unique<runtime::MetricsScope>(&mbufs_[idx], phase_, party);
+      guard.span = std::make_unique<runtime::SpanScope>(&sbufs_[idx], name,
+                                                        phase_, party, arg);
+    }
+    return guard;
+  }
+
+  /// Absorbs the staged buffers in task-index order. Must run while the
+  /// enclosing step span is still open so task spans nest under it.
+  void collect() {
+    if (!on()) return;
+    for (auto& b : sbufs_) rec_->absorb(b);
+    for (auto& b : mbufs_) reg_->absorb(b);
+    mbufs_.clear();
+    sbufs_.clear();
+  }
+
+ private:
+  runtime::MetricsRegistry* reg_;
+  runtime::SpanRecorder* rec_;
+  runtime::MetricsBuffer orch_buf_;
+  std::optional<runtime::MetricsScope> orch_scope_;
+  Phase phase_ = Phase::kSetup;
+  std::vector<runtime::MetricsBuffer> mbufs_;
+  std::vector<runtime::SpanBuffer> sbufs_;
+};
 
 }  // namespace
 
@@ -179,6 +263,7 @@ std::vector<Ciphertext> Participant::encrypt_beta_bits(Rng& rng) {
 
 std::vector<Ciphertext> Participant::compare_against(
     const std::vector<Ciphertext>& peer_bits, Rng& rng) const {
+  const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kCompareCircuit);
   const Group& g = *cfg_.group;
   const std::size_t l = cfg_.spec.beta_bits();
   if (peer_bits.size() != l)
@@ -226,6 +311,7 @@ std::vector<Ciphertext> Participant::compare_against(
 }
 
 void Participant::shuffle_hop(CipherSet& set, Rng& rng) {
+  const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kShuffleHop);
   const Group& g = *cfg_.group;
   for (Ciphertext& ct : set) {
     ct = crypto::partial_decrypt(g, key_.x, ct);
@@ -274,7 +360,21 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
     throw std::invalid_argument("run_framework: infos size != n");
   const std::size_t n = cfg.n;
   const std::size_t l = cfg.spec.beta_bits();
-  const Group& g = *cfg.group;
+
+  FrameworkResult result;
+  if (cfg.metrics) {
+    result.metrics = std::make_unique<runtime::MetricsRegistry>();
+    result.spans = std::make_unique<runtime::SpanRecorder>();
+  }
+  Obs obs{cfg.metrics, result.metrics.get(), result.spans.get()};
+
+  // With metrics on, every group call the parties make goes through the
+  // interface-level MeteredGroup decorator — the measured counterpart of
+  // the CountingGroup runs that calibrate benchcore's cost model.
+  const group::MeteredGroup metered{*cfg.group};
+  FrameworkConfig ecfg = cfg;  // effective config the parties bind to
+  if (cfg.metrics) ecfg.group = &metered;
+  const Group& g = *ecfg.group;
   const std::size_t ct_bytes = crypto::ciphertext_bytes(g);
 
   runtime::ThreadPool pool{cfg.parallelism};
@@ -284,8 +384,11 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
     return streams.stream(stream_id(kind, party, index));
   };
 
-  FrameworkResult result;
   runtime::PartyTimer timer{n + 1};
+
+  const runtime::SpanScope framework_span{obs.span_sink(), "framework",
+                                          Phase::kSetup,
+                                          runtime::kOrchestratorParty};
 
   // Long-lived per-party streams backing the Rng& each party binds at
   // construction (only the initiator draws from hers at construction time).
@@ -295,166 +398,288 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   for (std::size_t j = 1; j <= n; ++j)
     party_rngs.push_back(task_stream(kPartySetup, j, 0));
 
-  Initiator initiator{cfg, v0, w, party_rngs[0]};
+  Initiator initiator{ecfg, v0, w, party_rngs[0]};
   std::vector<Participant> parts;
   parts.reserve(n);
   for (std::size_t j = 1; j <= n; ++j)
-    parts.emplace_back(cfg, j, infos[j - 1], party_rngs[j]);
+    parts.emplace_back(ecfg, j, infos[j - 1], party_rngs[j]);
 
   auto& trace = result.trace;
   const std::size_t d = cfg.spec.m + cfg.spec.t + 1;
 
   // ---- Phase 1: secure gain computation ----
-  std::vector<const dotprod::BobRound1*> queries(n);
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    ChaChaRng task_rng = task_stream(kPhase1, j + 1, 0);
-    queries[j] = &parts[j].gain_query(task_rng);
-  });
-  const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
-  for (std::size_t j = 0; j < n; ++j)
-    trace.record(j + 1, 0, dotprod::bob_message_bytes(*cfg.dot_field, eff_s, d));
-  trace.next_round();
-  std::vector<dotprod::AliceRound2> answers(n);
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(0);
-    answers[j] = initiator.answer_gain_query(j + 1, *queries[j]);
-  });
-  for (std::size_t j = 0; j < n; ++j)
-    trace.record(0, j + 1, dotprod::alice_message_bytes(*cfg.dot_field));
-  trace.next_round();
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    parts[j].receive_gain_answer(answers[j]);
-  });
-  result.betas.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) result.betas.push_back(parts[j].beta());
+  obs.set_phase(Phase::kPhase1);
+  {
+    const runtime::SpanScope phase_span{obs.span_sink(),
+                                        "phase1.gain_computation",
+                                        Phase::kPhase1,
+                                        runtime::kOrchestratorParty};
+    std::vector<const dotprod::BobRound1*> queries(n);
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p1.queries",
+                                    Phase::kPhase1,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
+                              "task.gain_query");
+        auto scope = timer.time(j + 1);
+        ChaChaRng task_rng = task_stream(kPhase1, j + 1, 0);
+        queries[j] = &parts[j].gain_query(task_rng);
+      });
+      obs.collect();
+    }
+    const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
+    for (std::size_t j = 0; j < n; ++j)
+      trace.record(j + 1, 0,
+                   dotprod::bob_message_bytes(*cfg.dot_field, eff_s, d));
+    trace.next_round();
+    std::vector<dotprod::AliceRound2> answers(n);
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p1.answers",
+                                    Phase::kPhase1,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard = obs.task(j, 0, "task.gain_answer", j + 1);
+        auto scope = timer.time(0);
+        answers[j] = initiator.answer_gain_query(j + 1, *queries[j]);
+      });
+      obs.collect();
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      trace.record(0, j + 1, dotprod::alice_message_bytes(*cfg.dot_field));
+    trace.next_round();
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p1.finish",
+                                    Phase::kPhase1,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
+                              "task.gain_finish");
+        auto scope = timer.time(j + 1);
+        parts[j].receive_gain_answer(answers[j]);
+      });
+      obs.collect();
+    }
+    result.betas.reserve(n);
+    for (std::size_t j = 0; j < n; ++j)
+      result.betas.push_back(parts[j].beta());
+  }
 
   // ---- Phase 2: unlinkable gain comparison ----
-  // Step 5: keys + zero-knowledge proofs (commit/challenge/response rounds).
-  // Per-task trace buffers absorbed in party order keep the transfer
-  // sequence schedule-independent.
-  std::vector<Elem> pubkeys(n);
-  std::vector<runtime::TraceBuffer> bufs(n);
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    ChaChaRng task_rng = task_stream(kKeygen, j + 1, 0);
-    pubkeys[j] = parts[j].public_key(task_rng);
-    for (std::size_t peer = 1; peer <= n; ++peer)
-      if (peer != j + 1) bufs[j].record(j + 1, peer, g.element_bytes());
-  });
-  for (auto& b : bufs) {
-    trace.absorb(b);
-    b.clear();
-  }
-  trace.next_round();
-  const std::size_t sb = scalar_bytes(g);
-  std::vector<crypto::SchnorrTranscript> proofs(n);
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    ChaChaRng task_rng = task_stream(kProve, j + 1, 0);
-    proofs[j] = parts[j].prove_key(n - 1, task_rng);
-    // Commitment broadcast + response broadcast; challenges flow back.
-    for (std::size_t peer = 1; peer <= n; ++peer) {
-      if (peer == j + 1) continue;
-      bufs[j].record(j + 1, peer, g.element_bytes() + sb);  // h and z
-      bufs[j].record(peer, j + 1, sb);                      // challenge c
-    }
-  });
-  for (auto& b : bufs) {
-    trace.absorb(b);
-    b.clear();
-  }
-  trace.next_round();
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    for (std::size_t peer = 0; peer < n; ++peer) {
-      if (peer == j) continue;
-      if (!parts[j].verify_peer_key(pubkeys[peer], proofs[peer]))
-        throw std::runtime_error("run_framework: key proof rejected");
-    }
-  });
-  const Elem joint = crypto::joint_public_key(g, pubkeys);
-  for (auto& p : parts) p.set_joint_key(joint);
-  trace.next_round();
-
-  // Step 6: bitwise encryptions, broadcast. Fanned out over all n·l
-  // (party, bit) pairs — one encryption, one stream each.
-  std::vector<std::vector<Ciphertext>> beta_bits(
-      n, std::vector<Ciphertext>(l));
-  pool.parallel_for(n * l, [&](std::size_t idx) {
-    const std::size_t j = idx / l;
-    const std::size_t b = idx % l;
-    auto scope = timer.time(j + 1);
-    ChaChaRng task_rng = task_stream(kEncryptBit, j + 1, b);
-    beta_bits[j][b] = parts[j].encrypt_beta_bit(b, task_rng);
-  });
-  for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t peer = 1; peer <= n; ++peer)
-      if (peer != j + 1) trace.record(j + 1, peer, l * ct_bytes);
-  trace.next_round();
-
-  // Step 7: comparisons; flattened sets go to P1. The n·(n-1) circuit
-  // evaluations are the dominant cost — each (evaluator j, peer i) pair is
-  // an independent task writing its l ciphertexts into a fixed slot.
+  obs.set_phase(Phase::kPhase2);
   std::vector<CipherSet> v_sets(n, CipherSet((n - 1) * l));
-  pool.parallel_for(n * (n - 1), [&](std::size_t idx) {
-    const std::size_t j = idx / (n - 1);
-    const std::size_t slot = idx % (n - 1);
-    const std::size_t i = slot < j ? slot : slot + 1;  // skip i == j
-    auto scope = timer.time(j + 1);
-    ChaChaRng task_rng = task_stream(kCompare, j + 1, i);
-    auto tau = parts[j].compare_against(beta_bits[i], task_rng);
-    std::move(tau.begin(), tau.end(), v_sets[j].begin() + slot * l);
-  });
-  for (std::size_t j = 1; j < n; ++j)
-    trace.record(j + 1, 1, v_sets[j].size() * ct_bytes);
-  trace.next_round();
-
-  // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn. Hops are
-  // inherently sequential, but within a hop the n-1 foreign sets are
-  // decrypted/randomized/permuted independently.
-  for (std::size_t hop = 0; hop < n; ++hop) {
-    pool.parallel_for(n, [&](std::size_t owner) {
-      if (owner == hop) return;  // never touch the own set
-      auto scope = timer.time(hop + 1);
-      ChaChaRng task_rng = task_stream(kShuffle, hop + 1, owner);
-      parts[hop].shuffle_hop(v_sets[owner], task_rng);
-    });
-    if (hop + 1 < n) {
-      // Forward the whole vector V to the next participant.
-      std::size_t total = 0;
-      for (const auto& s : v_sets) total += s.size() * ct_bytes;
-      trace.record(hop + 1, hop + 2, total);
-      trace.next_round();
+  {
+    const runtime::SpanScope phase_span{obs.span_sink(),
+                                        "phase2.unlinkable_comparison",
+                                        Phase::kPhase2,
+                                        runtime::kOrchestratorParty};
+    // Step 5: keys + zero-knowledge proofs (commit/challenge/response
+    // rounds). Per-task trace buffers absorbed in party order keep the
+    // transfer sequence schedule-independent.
+    std::vector<Elem> pubkeys(n);
+    std::vector<runtime::TraceBuffer> bufs(n);
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.keygen",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard =
+            obs.task(j, static_cast<std::int32_t>(j + 1), "task.keygen");
+        auto scope = timer.time(j + 1);
+        ChaChaRng task_rng = task_stream(kKeygen, j + 1, 0);
+        pubkeys[j] = parts[j].public_key(task_rng);
+        for (std::size_t peer = 1; peer <= n; ++peer)
+          if (peer != j + 1) bufs[j].record(j + 1, peer, g.element_bytes());
+      });
+      obs.collect();
     }
+    for (auto& b : bufs) {
+      trace.absorb(b);
+      b.clear();
+    }
+    trace.next_round();
+    const std::size_t sb = scalar_bytes(g);
+    std::vector<crypto::SchnorrTranscript> proofs(n);
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.prove",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard =
+            obs.task(j, static_cast<std::int32_t>(j + 1), "task.prove_key");
+        auto scope = timer.time(j + 1);
+        ChaChaRng task_rng = task_stream(kProve, j + 1, 0);
+        proofs[j] = parts[j].prove_key(n - 1, task_rng);
+        // Commitment broadcast + response broadcast; challenges flow back.
+        for (std::size_t peer = 1; peer <= n; ++peer) {
+          if (peer == j + 1) continue;
+          bufs[j].record(j + 1, peer, g.element_bytes() + sb);  // h and z
+          bufs[j].record(peer, j + 1, sb);                      // challenge c
+        }
+      });
+      obs.collect();
+    }
+    for (auto& b : bufs) {
+      trace.absorb(b);
+      b.clear();
+    }
+    trace.next_round();
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.verify",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
+                              "task.verify_keys");
+        auto scope = timer.time(j + 1);
+        for (std::size_t peer = 0; peer < n; ++peer) {
+          if (peer == j) continue;
+          if (!parts[j].verify_peer_key(pubkeys[peer], proofs[peer]))
+            throw std::runtime_error("run_framework: key proof rejected");
+        }
+      });
+      obs.collect();
+    }
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.joint_key",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      const Elem joint = crypto::joint_public_key(g, pubkeys);
+      for (auto& p : parts) p.set_joint_key(joint);
+    }
+    trace.next_round();
+
+    // Step 6: bitwise encryptions, broadcast. Fanned out over all n·l
+    // (party, bit) pairs — one encryption, one stream each.
+    std::vector<std::vector<Ciphertext>> beta_bits(
+        n, std::vector<Ciphertext>(l));
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.encrypt_bits",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n * l);
+      pool.parallel_for(n * l, [&](std::size_t idx) {
+        const std::size_t j = idx / l;
+        const std::size_t b = idx % l;
+        auto guard = obs.task(idx, static_cast<std::int32_t>(j + 1),
+                              "task.encrypt_bit", b);
+        auto scope = timer.time(j + 1);
+        ChaChaRng task_rng = task_stream(kEncryptBit, j + 1, b);
+        beta_bits[j][b] = parts[j].encrypt_beta_bit(b, task_rng);
+      });
+      obs.collect();
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t peer = 1; peer <= n; ++peer)
+        if (peer != j + 1) trace.record(j + 1, peer, l * ct_bytes);
+    trace.next_round();
+
+    // Step 7: comparisons; flattened sets go to P1. The n·(n-1) circuit
+    // evaluations are the dominant cost — each (evaluator j, peer i) pair is
+    // an independent task writing its l ciphertexts into a fixed slot.
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p2.compare",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n * (n - 1));
+      pool.parallel_for(n * (n - 1), [&](std::size_t idx) {
+        const std::size_t j = idx / (n - 1);
+        const std::size_t slot = idx % (n - 1);
+        const std::size_t i = slot < j ? slot : slot + 1;  // skip i == j
+        auto guard = obs.task(idx, static_cast<std::int32_t>(j + 1),
+                              "task.compare", i);
+        auto scope = timer.time(j + 1);
+        ChaChaRng task_rng = task_stream(kCompare, j + 1, i);
+        auto tau = parts[j].compare_against(beta_bits[i], task_rng);
+        std::move(tau.begin(), tau.end(), v_sets[j].begin() + slot * l);
+      });
+      obs.collect();
+    }
+    for (std::size_t j = 1; j < n; ++j)
+      trace.record(j + 1, 1, v_sets[j].size() * ct_bytes);
+    trace.next_round();
+
+    // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn. Hops are
+    // inherently sequential, but within a hop the n-1 foreign sets are
+    // decrypted/randomized/permuted independently.
+    for (std::size_t hop = 0; hop < n; ++hop) {
+      const runtime::SpanScope step{obs.span_sink(), "p2.shuffle",
+                                    Phase::kPhase2,
+                                    runtime::kOrchestratorParty, hop};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t owner) {
+        if (owner == hop) return;  // never touch the own set
+        auto guard = obs.task(owner, static_cast<std::int32_t>(hop + 1),
+                              "task.shuffle_hop", owner);
+        auto scope = timer.time(hop + 1);
+        ChaChaRng task_rng = task_stream(kShuffle, hop + 1, owner);
+        parts[hop].shuffle_hop(v_sets[owner], task_rng);
+      });
+      obs.collect();
+      if (hop + 1 < n) {
+        // Forward the whole vector V to the next participant.
+        std::size_t total = 0;
+        for (const auto& s : v_sets) total += s.size() * ct_bytes;
+        trace.record(hop + 1, hop + 2, total);
+        trace.next_round();
+      }
+    }
+    // P_n returns each set to its owner.
+    for (std::size_t owner = 0; owner + 1 < n; ++owner)
+      trace.record(n, owner + 1, v_sets[owner].size() * ct_bytes);
+    trace.next_round();
   }
-  // P_n returns each set to its owner.
-  for (std::size_t owner = 0; owner + 1 < n; ++owner)
-    trace.record(n, owner + 1, v_sets[owner].size() * ct_bytes);
-  trace.next_round();
 
   // Step 9 / Phase 3: ranks and submissions.
-  result.ranks.resize(n);
-  pool.parallel_for(n, [&](std::size_t j) {
-    auto scope = timer.time(j + 1);
-    result.ranks[j] = parts[j].compute_rank(v_sets[j]);
-  });
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto sub = parts[j].submission(result.ranks[j]);
-    if (sub) {
-      result.submitted_ids.push_back(j + 1);
-      trace.record(j + 1, 0, info_bytes(cfg.spec));
-      auto scope = timer.time(0);
-      initiator.receive_submission(*sub);
-    }
-  }
-  trace.next_round();
+  obs.set_phase(Phase::kPhase3);
   {
-    auto scope = timer.time(0);
-    const auto bad = initiator.inconsistent_submissions();
-    if (!bad.empty())
-      throw std::runtime_error("run_framework: inconsistent submission");
+    const runtime::SpanScope phase_span{obs.span_sink(), "phase3.submission",
+                                        Phase::kPhase3,
+                                        runtime::kOrchestratorParty};
+    result.ranks.resize(n);
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p3.rank",
+                                    Phase::kPhase3,
+                                    runtime::kOrchestratorParty};
+      obs.stage(n);
+      pool.parallel_for(n, [&](std::size_t j) {
+        auto guard =
+            obs.task(j, static_cast<std::int32_t>(j + 1), "task.rank");
+        auto scope = timer.time(j + 1);
+        result.ranks[j] = parts[j].compute_rank(v_sets[j]);
+      });
+      obs.collect();
+    }
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p3.submit",
+                                    Phase::kPhase3,
+                                    runtime::kOrchestratorParty};
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto sub = parts[j].submission(result.ranks[j]);
+        if (sub) {
+          result.submitted_ids.push_back(j + 1);
+          trace.record(j + 1, 0, info_bytes(cfg.spec));
+          auto scope = timer.time(0);
+          initiator.receive_submission(*sub);
+        }
+      }
+    }
+    trace.next_round();
+    {
+      const runtime::SpanScope step{obs.span_sink(), "p3.crosscheck",
+                                    Phase::kPhase3,
+                                    runtime::kOrchestratorParty};
+      auto scope = timer.time(0);
+      const auto bad = initiator.inconsistent_submissions();
+      if (!bad.empty())
+        throw std::runtime_error("run_framework: inconsistent submission");
+    }
   }
 
   result.compute_seconds.resize(n + 1);

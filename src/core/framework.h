@@ -23,6 +23,7 @@
 // and the observability data the benchmarks (Figs. 2 and 3) need.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/spec.h"
@@ -31,6 +32,8 @@
 #include "dotprod/dot_product.h"
 #include "group/group.h"
 #include "mpz/rng.h"
+#include "runtime/metrics.h"
+#include "runtime/span.h"
 #include "runtime/trace.h"
 
 namespace ppgr::core {
@@ -58,6 +61,12 @@ struct FrameworkConfig {
   /// determinism"). Must be 1 when `group` is not thread-safe (e.g.
   /// group::CountingGroup).
   std::size_t parallelism = 1;
+  /// Enables the observability layer (DESIGN.md, "Observability"): the run
+  /// wraps `group` in group::MeteredGroup, records hierarchical spans and
+  /// per-(phase, party) crypto-op counters, and returns them in
+  /// FrameworkResult::metrics / ::spans. Counter totals and span streams are
+  /// bit-identical for every `parallelism` value; wall-clock fields are not.
+  bool metrics = false;
 
   void validate() const;
 };
@@ -187,6 +196,11 @@ struct FrameworkResult {
   std::vector<Nat> betas;
   runtime::TraceRecorder trace;
   std::vector<double> compute_seconds;     // index 0 = initiator
+  /// Populated iff FrameworkConfig::metrics; null otherwise. Exporters:
+  /// metrics->to_json(), spans->chrome_trace_json(),
+  /// runtime::phase_report(*metrics, spans.get()).
+  std::unique_ptr<runtime::MetricsRegistry> metrics;
+  std::unique_ptr<runtime::SpanRecorder> spans;
 };
 
 /// Runs the whole framework honestly (HBC) with in-process parties.

@@ -37,6 +37,21 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   runtime::PartyTimer timer{n + 1};
   auto& trace = result.trace;
 
+  // Serial observability: one metrics buffer installed for the whole run
+  // (context re-pointed per step), spans pushed straight to the recorder.
+  if (base.metrics) {
+    result.metrics = std::make_unique<runtime::MetricsRegistry>();
+    result.spans = std::make_unique<runtime::SpanRecorder>();
+  }
+  runtime::SpanSink* const span_sink = result.spans.get();
+  runtime::MetricsBuffer mbuf;
+  const runtime::MetricsScope mscope{base.metrics ? &mbuf : nullptr,
+                                     runtime::Phase::kSetup,
+                                     runtime::kOrchestratorParty};
+  const runtime::SpanScope framework_span{span_sink, "framework",
+                                          runtime::Phase::kSetup,
+                                          runtime::kOrchestratorParty};
+
   // ---- Phase 1 (identical to the main framework) ----
   Initiator initiator{base, v0, w, rng};
   std::vector<Participant> parts;
@@ -45,35 +60,59 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
     parts.emplace_back(base, j, infos[j - 1], rng);
   const std::size_t d = base.spec.m + base.spec.t + 1;
   std::vector<Nat> betas(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const dotprod::BobRound1* q;
-    {
-      auto scope = timer.time(j + 1);
-      q = &parts[j].gain_query();
+  {
+    const runtime::SpanScope phase_span{span_sink, "phase1.gain_computation",
+                                        runtime::Phase::kPhase1,
+                                        runtime::kOrchestratorParty};
+    for (std::size_t j = 0; j < n; ++j) {
+      const runtime::SpanScope party_span{span_sink, "task.gain",
+                                          runtime::Phase::kPhase1,
+                                          static_cast<std::int32_t>(j + 1)};
+      const dotprod::BobRound1* q;
+      {
+        if (base.metrics)
+          mbuf.set_context(runtime::Phase::kPhase1,
+                           static_cast<std::int32_t>(j + 1));
+        auto scope = timer.time(j + 1);
+        q = &parts[j].gain_query();
+      }
+      trace.record(j + 1, 0,
+                   dotprod::bob_message_bytes(
+                       *base.dot_field,
+                       std::max(base.dot_s, dotprod::recommended_s(d)), d));
+      dotprod::AliceRound2 a;
+      {
+        if (base.metrics) mbuf.set_context(runtime::Phase::kPhase1, 0);
+        auto scope = timer.time(0);
+        a = initiator.answer_gain_query(j + 1, *q);
+      }
+      {
+        if (base.metrics)
+          mbuf.set_context(runtime::Phase::kPhase1,
+                           static_cast<std::int32_t>(j + 1));
+        auto scope = timer.time(j + 1);
+        parts[j].receive_gain_answer(a);
+      }
+      betas[j] = parts[j].beta();
     }
-    trace.record(j + 1, 0,
-                 dotprod::bob_message_bytes(
-                     *base.dot_field,
-                     std::max(base.dot_s, dotprod::recommended_s(d)), d));
-    dotprod::AliceRound2 a;
-    {
-      auto scope = timer.time(0);
-      a = initiator.answer_gain_query(j + 1, *q);
-    }
-    {
-      auto scope = timer.time(j + 1);
-      parts[j].receive_gain_answer(a);
-    }
-    betas[j] = parts[j].beta();
   }
   trace.record(0, 1, n * dotprod::alice_message_bytes(*base.dot_field));
   trace.next_round();
 
   // ---- Phase 2: secret-sharing sort of the β values ----
+  if (base.metrics)
+    mbuf.set_context(runtime::Phase::kPhase2, runtime::kOrchestratorParty);
   const FpCtx& field = ss_field_for_beta_bits(l);
   sss::MpcEngine engine{field, n, cfg.threshold, rng, cfg.mode};
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sorted = sss::mpc_rank_sort(engine, betas);
+  std::optional<sss::RankSortResult> sorted_holder;
+  {
+    const runtime::SpanScope phase_span{span_sink, "phase2.ss_sort",
+                                        runtime::Phase::kPhase2,
+                                        runtime::kOrchestratorParty};
+    sorted_holder.emplace(sss::mpc_rank_sort(engine, betas));
+  }
+  const auto& sorted = *sorted_holder;
   const double sort_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -108,6 +147,11 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
 
   // ---- Phase 3 ----
   if (!counting) {
+    const runtime::SpanScope phase_span{span_sink, "phase3.submission",
+                                        runtime::Phase::kPhase3,
+                                        runtime::kOrchestratorParty};
+    if (base.metrics)
+      mbuf.set_context(runtime::Phase::kPhase3, runtime::kOrchestratorParty);
     result.ranks = sorted.ranks;
     for (std::size_t j = 0; j < n; ++j) {
       if (result.ranks[j] <= base.k) {
@@ -121,6 +165,9 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
     trace.next_round();
   }
 
+  // Nothing counted runs after this point, so draining the buffer while the
+  // sink is still installed is safe (absorb clears it).
+  if (base.metrics) result.metrics->absorb(mbuf);
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)
     result.compute_seconds[p] = timer.seconds(p);

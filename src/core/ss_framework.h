@@ -25,6 +25,10 @@ struct SsFrameworkResult {
   std::size_t comparators = 0;
   runtime::TraceRecorder trace;            // phase-1 exact + phase-2 synthetic
   std::vector<double> compute_seconds;     // index 0 = initiator
+  /// Populated iff base.metrics (same contract as FrameworkResult). The SS
+  /// baseline runs serially, so spans are pushed straight to the recorder.
+  std::unique_ptr<runtime::MetricsRegistry> metrics;
+  std::unique_ptr<runtime::SpanRecorder> spans;
 };
 
 struct SsFrameworkConfig {

@@ -1,6 +1,10 @@
 #include "crypto/elgamal.h"
 
+#include "runtime/metrics.h"
+
 namespace ppgr::crypto {
+
+using runtime::CryptoOp;
 
 KeyPair keygen(const Group& g, Rng& rng) {
   KeyPair kp;
@@ -16,11 +20,13 @@ Elem joint_public_key(const Group& g, std::span<const Elem> ys) {
 }
 
 Ciphertext encrypt(const Group& g, const Elem& y, const Elem& m, Rng& rng) {
+  const runtime::ScopedOpTimer timer(CryptoOp::kElGamalEncrypt);
   const Nat r = g.random_nonzero_scalar(rng);
   return Ciphertext{.c = g.mul(m, g.exp(y, r)), .cp = g.exp_g(r)};
 }
 
 Elem decrypt(const Group& g, const Nat& x, const Ciphertext& ct) {
+  const runtime::ScopedOpTimer timer(CryptoOp::kElGamalDecrypt);
   return g.div(ct.c, g.exp(ct.cp, x));
 }
 
@@ -54,6 +60,7 @@ Ciphertext ct_add_plain(const Group& g, const Ciphertext& ct, const Nat& k) {
 
 Ciphertext rerandomize(const Group& g, const Elem& y, const Ciphertext& ct,
                        Rng& rng) {
+  const runtime::ScopedOpTimer timer(CryptoOp::kElGamalRerandomize);
   const Nat r = g.random_nonzero_scalar(rng);
   return Ciphertext{.c = g.mul(ct.c, g.exp(y, r)),
                     .cp = g.mul(ct.cp, g.exp_g(r))};
@@ -61,10 +68,12 @@ Ciphertext rerandomize(const Group& g, const Elem& y, const Ciphertext& ct,
 
 Ciphertext partial_decrypt(const Group& g, const Nat& x_j,
                            const Ciphertext& ct) {
+  runtime::count_op(CryptoOp::kElGamalPartialDecrypt);
   return Ciphertext{.c = g.div(ct.c, g.exp(ct.cp, x_j)), .cp = ct.cp};
 }
 
 Ciphertext exp_randomize(const Group& g, const Ciphertext& ct, const Nat& r) {
+  runtime::count_op(CryptoOp::kElGamalExpRandomize);
   return Ciphertext{.c = g.exp(ct.c, r), .cp = g.exp(ct.cp, r)};
 }
 

@@ -4,6 +4,7 @@
 
 #include "mpz/modarith.h"
 #include "mpz/prime.h"
+#include "runtime/metrics.h"
 
 namespace ppgr::crypto {
 
@@ -17,6 +18,7 @@ std::size_t PaillierPublicKey::ciphertext_bytes() const {
 }
 
 Nat PaillierPublicKey::encrypt(const Nat& m, Rng& rng) const {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kPaillierEncrypt);
   if (m >= n_) throw std::invalid_argument("Paillier::encrypt: m >= N");
   // (1 + mN) * r^N mod N^2, with r coprime to N (random < N is coprime with
   // overwhelming probability; retry on the negligible failure).
@@ -31,14 +33,17 @@ Nat PaillierPublicKey::encrypt(const Nat& m, Rng& rng) const {
 }
 
 Nat PaillierPublicKey::add(const Nat& c1, const Nat& c2) const {
+  runtime::count_op(runtime::CryptoOp::kPaillierAdd);
   return Nat::mul(c1, c2) % n_squared();
 }
 
 Nat PaillierPublicKey::scale(const Nat& c, const Nat& k) const {
+  runtime::count_op(runtime::CryptoOp::kPaillierScale);
   return mont_n2_.from_mont(mont_n2_.exp(mont_n2_.to_mont(c), k));
 }
 
 Nat PaillierPublicKey::rerandomize(const Nat& c, Rng& rng) const {
+  runtime::count_op(runtime::CryptoOp::kPaillierRerandomize);
   return add(c, encrypt(Nat{}, rng));
 }
 
@@ -65,6 +70,7 @@ PaillierPrivateKey PaillierPrivateKey::generate(std::size_t modulus_bits,
 }
 
 Nat PaillierPrivateKey::decrypt(const Nat& c) const {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kPaillierDecrypt);
   const Nat& n = pub_.n();
   if (c.is_zero() || c >= pub_.n_squared())
     throw std::invalid_argument("Paillier::decrypt: ciphertext out of range");

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mpz/modarith.h"
+#include "runtime/metrics.h"
 
 namespace ppgr::crypto {
 
@@ -32,6 +33,7 @@ Nat schnorr_respond(const Group& g, const SchnorrProverState& st, const Nat& x,
 }
 
 bool schnorr_verify(const Group& g, const Elem& y, const SchnorrTranscript& t) {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kSchnorrVerify);
   const Nat csum = sum_mod_q(g, t.challenges);
   const Elem lhs = g.exp_g(t.response);
   const Elem rhs = g.mul(t.commitment, g.exp(y, csum));
@@ -40,6 +42,7 @@ bool schnorr_verify(const Group& g, const Elem& y, const SchnorrTranscript& t) {
 
 SchnorrTranscript schnorr_prove(const Group& g, const Nat& x,
                                 std::size_t n_verifiers, Rng& rng) {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kSchnorrProve);
   const SchnorrProverState st = schnorr_commit(g, rng);
   SchnorrTranscript t;
   t.commitment = st.commitment;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/metrics.h"
+
 namespace ppgr::dotprod {
 
 namespace {
@@ -26,6 +28,7 @@ Nat plain_dot(const FpCtx& field, const FVec& a, const FVec& b) {
 DotProductBob::DotProductBob(const FpCtx& field, FVec w, std::size_t s,
                              Rng& rng)
     : field_(field) {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kDotprodQuery);
   if (s < 2) throw std::invalid_argument("DotProductBob: s must be >= 2");
   const std::size_t d = w.size();
   if (d == 0) throw std::invalid_argument("DotProductBob: empty vector");
@@ -89,6 +92,7 @@ DotProductBob::DotProductBob(const FpCtx& field, FVec w, std::size_t s,
 }
 
 Nat DotProductBob::finish(const AliceRound2& reply) const {
+  runtime::count_op(runtime::CryptoOp::kDotprodFinish);
   // β = (a + h·R2/R3) / b  =  w·v.
   const Nat num = field_.add(reply.a, field_.mul(reply.h, r2_over_r3_));
   return field_.div(num, b_);
@@ -96,6 +100,7 @@ Nat DotProductBob::finish(const AliceRound2& reply) const {
 
 AliceRound2 dot_product_alice(const FpCtx& field, const BobRound1& msg,
                               const FVec& v) {
+  const runtime::ScopedOpTimer timer(runtime::CryptoOp::kDotprodAnswer);
   const std::size_t s = msg.qx.size();
   if (s == 0 || msg.qx[0].size() != v.size() || msg.cprime.size() != v.size() ||
       msg.gvec.size() != v.size())

@@ -1,0 +1,75 @@
+// Metrics-emitting decorator over any Group.
+//
+// The observability analogue of CountingGroup: every interface-level call is
+// reported to the runtime metrics funnel (runtime::count_op) and then
+// forwarded to the wrapped group. Counting at the *interface* — not inside
+// the concrete groups — is deliberate and must match CountingGroup exactly:
+// SchnorrGroup::exp_g runs internal comb-table multiplications that the
+// Sec. VI-B model does not price, so instrumenting the concrete groups would
+// break the model-vs-measured exact-match check in bench/validate_model.
+//
+// With no metrics sink installed on the calling thread, each report is a
+// thread-local load plus an untaken branch; with PPGR_DISABLE_METRICS the
+// decorator degenerates to pure forwarding.
+#pragma once
+
+#include "group/group.h"
+#include "runtime/metrics.h"
+
+namespace ppgr::group {
+
+class MeteredGroup final : public Group {
+ public:
+  /// Does not own `inner`; it must outlive this decorator.
+  explicit MeteredGroup(const Group& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + "+metered";
+  }
+  [[nodiscard]] const Nat& order() const override { return inner_.order(); }
+  [[nodiscard]] std::size_t field_bits() const override {
+    return inner_.field_bits();
+  }
+  [[nodiscard]] Elem generator() const override { return inner_.generator(); }
+  [[nodiscard]] Elem identity() const override { return inner_.identity(); }
+  [[nodiscard]] Elem mul(const Elem& x, const Elem& y) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupMul);
+    return inner_.mul(x, y);
+  }
+  [[nodiscard]] Elem exp(const Elem& base, const Nat& scalar) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupExp);
+    return inner_.exp(base, scalar);
+  }
+  [[nodiscard]] Elem exp_g(const Nat& scalar) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupExpG);
+    return inner_.exp_g(scalar);
+  }
+  [[nodiscard]] Elem inv(const Elem& x) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupInv);
+    return inner_.inv(x);
+  }
+  [[nodiscard]] bool eq(const Elem& x, const Elem& y) const override {
+    return inner_.eq(x, y);
+  }
+  [[nodiscard]] bool is_identity(const Elem& x) const override {
+    return inner_.is_identity(x);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      const Elem& x) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupSerialize);
+    return inner_.serialize(x);
+  }
+  [[nodiscard]] Elem deserialize(
+      std::span<const std::uint8_t> bytes) const override {
+    runtime::count_op(runtime::CryptoOp::kGroupDeserialize);
+    return inner_.deserialize(bytes);
+  }
+  [[nodiscard]] std::size_t element_bytes() const override {
+    return inner_.element_bytes();
+  }
+
+ private:
+  const Group& inner_;
+};
+
+}  // namespace ppgr::group

@@ -1,7 +1,6 @@
 #include "runtime/trace.h"
 
 #include <chrono>
-#include <set>
 #include <stdexcept>
 
 namespace ppgr::runtime {
@@ -15,6 +14,8 @@ TraceRecorder::TraceRecorder(const TraceRecorder& other) {
   std::lock_guard<std::mutex> lock(other.mu_);
   transfers_ = other.transfers_;
   current_round_ = other.current_round_;
+  distinct_rounds_ = other.distinct_rounds_;
+  current_round_counted_ = other.current_round_counted_;
 }
 
 TraceRecorder& TraceRecorder::operator=(const TraceRecorder& other) {
@@ -22,6 +23,8 @@ TraceRecorder& TraceRecorder::operator=(const TraceRecorder& other) {
   std::scoped_lock lock(mu_, other.mu_);
   transfers_ = other.transfers_;
   current_round_ = other.current_round_;
+  distinct_rounds_ = other.distinct_rounds_;
+  current_round_counted_ = other.current_round_counted_;
   return *this;
 }
 
@@ -29,6 +32,8 @@ TraceRecorder::TraceRecorder(TraceRecorder&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   transfers_ = std::move(other.transfers_);
   current_round_ = other.current_round_;
+  distinct_rounds_ = other.distinct_rounds_;
+  current_round_counted_ = other.current_round_counted_;
 }
 
 TraceRecorder& TraceRecorder::operator=(TraceRecorder&& other) noexcept {
@@ -36,6 +41,8 @@ TraceRecorder& TraceRecorder::operator=(TraceRecorder&& other) noexcept {
   std::scoped_lock lock(mu_, other.mu_);
   transfers_ = std::move(other.transfers_);
   current_round_ = other.current_round_;
+  distinct_rounds_ = other.distinct_rounds_;
+  current_round_counted_ = other.current_round_counted_;
   return *this;
 }
 
@@ -45,24 +52,31 @@ void TraceRecorder::record(std::size_t src, std::size_t dst,
     throw std::invalid_argument("TraceRecorder: src == dst");
   std::lock_guard<std::mutex> lock(mu_);
   transfers_.push_back(Transfer{current_round_, src, dst, bytes});
+  if (!current_round_counted_) {
+    ++distinct_rounds_;
+    current_round_counted_ = true;
+  }
 }
 
 void TraceRecorder::next_round() {
   std::lock_guard<std::mutex> lock(mu_);
   ++current_round_;
+  current_round_counted_ = false;
 }
 
 void TraceRecorder::absorb(const TraceBuffer& buf) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Transfer& t : buf.staged())
     transfers_.push_back(Transfer{current_round_, t.src, t.dst, t.bytes});
+  if (!buf.staged().empty() && !current_round_counted_) {
+    ++distinct_rounds_;
+    current_round_counted_ = true;
+  }
 }
 
 std::size_t TraceRecorder::rounds() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::set<std::size_t> distinct;
-  for (const auto& t : transfers_) distinct.insert(t.round);
-  return distinct.size();
+  return distinct_rounds_;
 }
 
 std::size_t TraceRecorder::total_bytes() const {
@@ -97,6 +111,8 @@ void TraceRecorder::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   transfers_.clear();
   current_round_ = 0;
+  distinct_rounds_ = 0;
+  current_round_counted_ = false;
 }
 
 double PartyTimer::now_seconds() {

@@ -69,7 +69,8 @@ class TraceRecorder {
   [[nodiscard]] const std::vector<Transfer>& transfers() const {
     return transfers_;
   }
-  /// Number of rounds that contain at least one message.
+  /// Number of rounds that contain at least one message. Tracked
+  /// incrementally as transfers arrive — O(1), safe to call per table row.
   [[nodiscard]] std::size_t rounds() const;
   [[nodiscard]] std::size_t total_bytes() const;
   [[nodiscard]] std::size_t bytes_sent_by(std::size_t party) const;
@@ -82,6 +83,8 @@ class TraceRecorder {
   mutable std::mutex mu_;
   std::vector<Transfer> transfers_;
   std::size_t current_round_ = 0;
+  std::size_t distinct_rounds_ = 0;       // rounds with >= 1 message so far
+  bool current_round_counted_ = false;    // current round already in the tally
 };
 
 /// Accumulates computation time per party. The framework orchestrator brackets
