@@ -6,6 +6,9 @@
 //   --metrics-out FILE export the end-to-end run's per-phase crypto-op
 //                      counters as JSON (schema ppgr.metrics.v1)
 //   --trace-out FILE   export the end-to-end run's Chrome trace-event JSON
+//   --comm-out FILE    export the end-to-end run's measured communication
+//                      (schema ppgr.comm.v1)
+//   --comm-trace-out FILE  export the network-flow Chrome trace
 //
 // The modeled sweeps price a single participant from exact op counts, so
 // they cannot show engine-level behaviour; any of the flags above adds a
@@ -31,12 +34,24 @@ struct BenchFlags {
   std::size_t parallelism = 0;  // 0 = not requested
   std::string metrics_path;
   std::string trace_path;
+  std::string comm_path;
+  std::string comm_trace_path;
   std::optional<std::ofstream> metrics_out;
   std::optional<std::ofstream> trace_out;
+  std::optional<std::ofstream> comm_out;
+  std::optional<std::ofstream> comm_trace_out;
 
   /// Any flag asks for the real end-to-end engine run.
   [[nodiscard]] bool e2e_requested() const {
-    return parallelism > 0 || metrics_out.has_value() || trace_out.has_value();
+    return parallelism > 0 || metrics_out.has_value() ||
+           trace_out.has_value() || comm_out.has_value() ||
+           comm_trace_out.has_value();
+  }
+
+  /// Any export flag that needs cfg.metrics on the end-to-end run.
+  [[nodiscard]] bool exports_requested() const {
+    return metrics_out.has_value() || trace_out.has_value() ||
+           comm_out.has_value() || comm_trace_out.has_value();
   }
 };
 
@@ -44,6 +59,7 @@ inline void print_bench_flags_help(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %s [--parallelism N] [--metrics-out FILE] [--trace-out FILE]\n"
+      "       [--comm-out FILE] [--comm-trace-out FILE]\n"
       "\n"
       "With no flags the binary prints its modeled sweep only. Any flag\n"
       "below additionally runs a small real instance end to end through the\n"
@@ -58,6 +74,11 @@ inline void print_bench_flags_help(const char* prog, std::FILE* out) {
       "  --trace-out FILE   write the end-to-end run's Chrome trace-event\n"
       "                     JSON (open in about:tracing or\n"
       "                     https://ui.perfetto.dev)\n"
+      "  --comm-out FILE    write the end-to-end run's measured\n"
+      "                     communication as JSON (schema ppgr.comm.v1)\n"
+      "  --comm-trace-out FILE\n"
+      "                     write the end-to-end run's network-flow Chrome\n"
+      "                     trace on the simulated timeline\n"
       "  --help             show this message\n",
       prog);
 }
@@ -98,6 +119,10 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
         flags.metrics_path = value();
       } else if (arg == "--trace-out") {
         flags.trace_path = value();
+      } else if (arg == "--comm-out") {
+        flags.comm_path = value();
+      } else if (arg == "--comm-trace-out") {
+        flags.comm_trace_path = value();
       } else {
         std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
         print_bench_flags_help(argv[0], stderr);
@@ -111,13 +136,18 @@ inline BenchFlags parse_bench_flags(int argc, char** argv) {
   // An export flag alone implies a single-threaded end-to-end run;
   // `--parallelism 0` explicitly means all hardware threads.
   if (!parallelism_given &&
-      (!flags.metrics_path.empty() || !flags.trace_path.empty())) {
+      (!flags.metrics_path.empty() || !flags.trace_path.empty() ||
+       !flags.comm_path.empty() || !flags.comm_trace_path.empty())) {
     flags.parallelism = 1;
   }
   if (!flags.metrics_path.empty())
     flags.metrics_out = open_bench_out(flags.metrics_path);
   if (!flags.trace_path.empty())
     flags.trace_out = open_bench_out(flags.trace_path);
+  if (!flags.comm_path.empty())
+    flags.comm_out = open_bench_out(flags.comm_path);
+  if (!flags.comm_trace_path.empty())
+    flags.comm_trace_out = open_bench_out(flags.comm_trace_path);
   return flags;
 }
 
@@ -134,7 +164,7 @@ inline void run_parallel_e2e(BenchFlags& flags, std::size_t n = 16) {
   cfg.k = 3;
   cfg.group = g.get();
   cfg.dot_field = &core::default_dot_field();
-  cfg.metrics = flags.metrics_out.has_value() || flags.trace_out.has_value();
+  cfg.metrics = flags.exports_requested();
 
   core::AttrVec v0(cfg.spec.m, 7), w(cfg.spec.m, 3);
   std::vector<core::AttrVec> infos;
@@ -166,7 +196,9 @@ inline void run_parallel_e2e(BenchFlags& flags, std::size_t n = 16) {
            serial.metrics->to_json(/*include_timing=*/false) ==
                par.metrics->to_json(/*include_timing=*/false) &&
            serial.spans->chrome_trace_json(/*deterministic=*/true) ==
-               par.spans->chrome_trace_json(/*deterministic=*/true);
+               par.spans->chrome_trace_json(/*deterministic=*/true) &&
+           serial.comm->to_json() == par.comm->to_json() &&
+           serial.comm->chrome_trace_json() == par.comm->chrome_trace_json();
   }
   std::printf(
       "  parallelism=1: %.3fs   parallelism=%zu: %.3fs   speedup=%.2fx   "
@@ -177,13 +209,24 @@ inline void run_parallel_e2e(BenchFlags& flags, std::size_t n = 16) {
   if (flags.metrics_out) {
     *flags.metrics_out << par.metrics->to_json(/*include_timing=*/true);
     std::printf("%s\nmetrics JSON written to %s\n",
-                runtime::phase_report(*par.metrics, par.spans.get()).c_str(),
+                runtime::phase_report(*par.metrics, par.spans.get(),
+                                      par.comm.get())
+                    .c_str(),
                 flags.metrics_path.c_str());
   }
   if (flags.trace_out) {
     *flags.trace_out << par.spans->chrome_trace_json(/*deterministic=*/false);
     std::printf("Chrome trace written to %s (open in about:tracing)\n",
                 flags.trace_path.c_str());
+  }
+  if (flags.comm_out) {
+    *flags.comm_out << par.comm->to_json();
+    std::printf("communication JSON written to %s\n", flags.comm_path.c_str());
+  }
+  if (flags.comm_trace_out) {
+    *flags.comm_trace_out << par.comm->chrome_trace_json();
+    std::printf("network-flow trace written to %s (open in Perfetto)\n",
+                flags.comm_trace_path.c_str());
   }
 }
 

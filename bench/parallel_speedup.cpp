@@ -107,7 +107,9 @@ int main(int argc, char** argv) {
         base.metrics->to_json(/*include_timing=*/false) ==
             cur.metrics->to_json(/*include_timing=*/false) &&
         base.spans->chrome_trace_json(/*deterministic=*/true) ==
-            cur.spans->chrome_trace_json(/*deterministic=*/true);
+            cur.spans->chrome_trace_json(/*deterministic=*/true) &&
+        base.comm->to_json() == cur.comm->to_json() &&
+        base.comm->chrome_trace_json() == cur.comm->chrome_trace_json();
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: parallelism=%zu output differs from serial\n", p);
@@ -165,7 +167,39 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+
+  // Measured communication of the run (identical at every parallelism, per
+  // the bit-identity check): per-phase totals plus the per-link breakdown
+  // from the serial run's CommRegistry. Virtual seconds come from the
+  // deterministic network simulation, so they are exact, not sampled.
+  {
+    const runtime::CommRegistry& comm = *runs.front().result.comm;
+    const auto links = comm.links();
+    std::fprintf(out,
+                 "  \"comm\": {\n"
+                 "    \"messages\": %zu,\n"
+                 "    \"bytes\": %llu,\n"
+                 "    \"rounds\": %zu,\n"
+                 "    \"virtual_seconds\": %.9f,\n"
+                 "    \"links\": [\n",
+                 comm.message_count(),
+                 static_cast<unsigned long long>(comm.total_bytes()),
+                 comm.rounds(), comm.virtual_seconds());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const auto& lk = links[i];
+      std::fprintf(out,
+                   "      {\"phase\": \"%s\", \"src\": %zu, \"dst\": %zu, "
+                   "\"messages\": %llu, \"bytes\": %llu, "
+                   "\"tx_seconds\": %.9f}%s\n",
+                   runtime::phase_name(lk.phase), lk.src, lk.dst,
+                   static_cast<unsigned long long>(lk.messages),
+                   static_cast<unsigned long long>(lk.bytes), lk.tx_s,
+                   i + 1 < links.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]\n  }\n");
+  }
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

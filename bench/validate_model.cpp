@@ -11,7 +11,13 @@
 //    benchcore::count_he_framework exactly, reporting the offending counter
 //    on drift. This pins the Sec. VI-B analytical table to the real
 //    runtime: an instrumentation or protocol change that alters either
-//    side's counts fails CI.
+//    side's counts fails CI;
+//  - --check-comm mode (run as the `comm_validation` ctest): runs the real
+//    framework and asserts the communication CommRegistry *measured* on the
+//    wire (every message serialized through net::Router) matches
+//    benchcore::model_he_comm — the closed-form per-(phase, link)
+//    message/byte model — exactly, link by link. A codec or protocol change
+//    that alters either side fails CI.
 #include <cstdio>
 #include <cstring>
 
@@ -112,10 +118,103 @@ int run_check() {
   return 0;
 }
 
+/// Exits nonzero on the first (phase, src -> dst) link whose measured
+/// message count or serialized byte total drifts from the closed-form
+/// communication model.
+int run_check_comm() {
+  const core::ProblemSpec spec{.m = 4, .t = 2, .d1 = 6, .d2 = 6, .h = 6};
+  constexpr std::size_t n = 4;
+  constexpr std::size_t k = 2;
+  constexpr std::uint64_t seed = 1234;
+
+  const auto g = group::make_group(group::GroupId::kDlTest256);
+  core::FrameworkConfig cfg;
+  cfg.spec = spec;
+  cfg.n = n;
+  cfg.k = k;
+  cfg.group = g.get();
+  cfg.dot_field = &core::default_dot_field();
+  cfg.metrics = true;
+  const auto inst = benchcore::random_instance(spec, n, seed);
+  mpz::ChaChaRng rng{seed + 1};
+  const auto real = core::run_framework(cfg, inst.v0, inst.w, inst.infos, rng);
+
+  const auto measured = real.comm->links();
+  const auto modeled = benchcore::model_he_comm(
+      spec, n, *g, *cfg.dot_field, cfg.dot_s, real.submitted_ids);
+
+  int failures = 0;
+  const auto link_name = [](const runtime::CommLink& lk) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %zu->%zu",
+                  runtime::phase_name(lk.phase), lk.src, lk.dst);
+    return std::string{buf};
+  };
+  const std::size_t common = std::min(measured.size(), modeled.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const auto& ms = measured[i];
+    const auto& md = modeled[i];
+    if (ms.phase != md.phase || ms.src != md.src || ms.dst != md.dst) {
+      std::fprintf(stderr, "LINK MISMATCH at %zu: measured %s vs model %s\n",
+                   i, link_name(ms).c_str(), link_name(md).c_str());
+      ++failures;
+      continue;
+    }
+    if (ms.messages != md.messages || ms.bytes != md.bytes) {
+      std::fprintf(
+          stderr,
+          "DRIFT %-16s measured msgs=%llu bytes=%llu  model msgs=%llu "
+          "bytes=%llu\n",
+          link_name(ms).c_str(), static_cast<unsigned long long>(ms.messages),
+          static_cast<unsigned long long>(ms.bytes),
+          static_cast<unsigned long long>(md.messages),
+          static_cast<unsigned long long>(md.bytes));
+      ++failures;
+    }
+  }
+  if (measured.size() != modeled.size()) {
+    std::fprintf(stderr, "LINK COUNT drift: measured %zu links, model %zu\n",
+                 measured.size(), modeled.size());
+    ++failures;
+  }
+
+  // Cross-pillar consistency: the comm registry and the replayable trace
+  // must account for the same wire, byte for byte.
+  if (real.comm->total_bytes() != real.trace.total_bytes() ||
+      real.comm->message_count() != real.trace.message_count()) {
+    std::fprintf(stderr,
+                 "PILLAR drift: comm bytes=%llu msgs=%zu vs trace bytes=%zu "
+                 "msgs=%zu\n",
+                 static_cast<unsigned long long>(real.comm->total_bytes()),
+                 real.comm->message_count(), real.trace.total_bytes(),
+                 real.trace.message_count());
+    ++failures;
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "\ncomm validation FAILED: %d link(s) drifted between the "
+                 "measured wire bytes and benchcore::model_he_comm\n",
+                 failures);
+    return 1;
+  }
+  std::printf("comm validation OK: measured wire bytes match the closed-form "
+              "model on all %zu links\n"
+              "  messages=%zu bytes=%llu rounds=%zu virtual=%.6fs (n=%zu, "
+              "l=%zu)\n",
+              measured.size(), real.comm->message_count(),
+              static_cast<unsigned long long>(real.comm->total_bytes()),
+              real.comm->rounds(), real.comm->virtual_seconds(), n,
+              spec.beta_bits());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--check") == 0) return run_check();
+  if (argc > 1 && std::strcmp(argv[1], "--check-comm") == 0)
+    return run_check_comm();
   using namespace ppgr;
   using benchcore::TablePrinter;
 

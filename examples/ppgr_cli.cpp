@@ -125,7 +125,8 @@ void print_usage(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %s <instance-file> [--seed N] [--parallelism N]\n"
-      "       [--metrics-out FILE] [--trace-out FILE]\n"
+      "       [--metrics-out FILE] [--trace-out FILE] [--comm-out FILE]\n"
+      "       [--comm-trace-out FILE]\n"
       "\n"
       "  --seed N           deterministic run from ChaCha20 seed N (default:\n"
       "                     fresh OS entropy)\n"
@@ -137,6 +138,14 @@ void print_usage(const char* prog, std::FILE* out) {
       "                     report to stdout\n"
       "  --trace-out FILE   write Chrome trace-event JSON (open in\n"
       "                     about:tracing or https://ui.perfetto.dev)\n"
+      "  --comm-out FILE    write measured communication as JSON (schema\n"
+      "                     ppgr.comm.v1): per-phase per-link bytes/messages\n"
+      "                     and the per-message virtual-time flow log\n"
+      "  --comm-trace-out FILE\n"
+      "                     write network-flow Chrome trace JSON on the\n"
+      "                     simulated timeline (send/receive slices linked\n"
+      "                     by flow arrows; load next to --trace-out in\n"
+      "                     Perfetto)\n"
       "  --help             show this message\n",
       prog);
 }
@@ -169,6 +178,8 @@ int main(int argc, char** argv) {
   std::size_t parallelism = 1;
   std::string metrics_path;
   std::string trace_path;
+  std::string comm_path;
+  std::string comm_trace_path;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg{argv[i]};
@@ -186,6 +197,10 @@ int main(int argc, char** argv) {
         metrics_path = value();
       } else if (arg == "--trace-out") {
         trace_path = value();
+      } else if (arg == "--comm-out") {
+        comm_path = value();
+      } else if (arg == "--comm-trace-out") {
+        comm_trace_path = value();
       } else {
         throw std::invalid_argument("unknown option '" + arg + "'");
       }
@@ -201,8 +216,12 @@ int main(int argc, char** argv) {
     // Validate output paths before spending time on the protocol run.
     std::optional<std::ofstream> metrics_out;
     std::optional<std::ofstream> trace_out;
+    std::optional<std::ofstream> comm_out;
+    std::optional<std::ofstream> comm_trace_out;
     if (!metrics_path.empty()) metrics_out = open_out(metrics_path);
     if (!trace_path.empty()) trace_out = open_out(trace_path);
+    if (!comm_path.empty()) comm_out = open_out(comm_path);
+    if (!comm_trace_path.empty()) comm_trace_out = open_out(comm_trace_path);
 
     const auto group = group::make_group(inst.group_id);
     core::FrameworkConfig cfg;
@@ -212,7 +231,8 @@ int main(int argc, char** argv) {
     cfg.group = group.get();
     cfg.dot_field = &core::default_dot_field();
     cfg.parallelism = parallelism;
-    cfg.metrics = metrics_out.has_value() || trace_out.has_value();
+    cfg.metrics = metrics_out.has_value() || trace_out.has_value() ||
+                  comm_out.has_value() || comm_trace_out.has_value();
 
     mpz::ChaChaRng rng = seeded ? mpz::ChaChaRng{seed}
                                 : mpz::ChaChaRng::from_os();
@@ -234,7 +254,8 @@ int main(int argc, char** argv) {
       if (!*metrics_out)
         throw std::runtime_error("failed writing '" + metrics_path + "'");
       std::printf("\n%s\nmetrics JSON written to %s\n",
-                  runtime::phase_report(*result.metrics, result.spans.get())
+                  runtime::phase_report(*result.metrics, result.spans.get(),
+                                        result.comm.get())
                       .c_str(),
                   metrics_path.c_str());
     }
@@ -244,6 +265,19 @@ int main(int argc, char** argv) {
         throw std::runtime_error("failed writing '" + trace_path + "'");
       std::printf("Chrome trace written to %s (open in about:tracing)\n",
                   trace_path.c_str());
+    }
+    if (comm_out) {
+      *comm_out << result.comm->to_json();
+      if (!*comm_out)
+        throw std::runtime_error("failed writing '" + comm_path + "'");
+      std::printf("communication JSON written to %s\n", comm_path.c_str());
+    }
+    if (comm_trace_out) {
+      *comm_trace_out << result.comm->chrome_trace_json();
+      if (!*comm_trace_out)
+        throw std::runtime_error("failed writing '" + comm_trace_path + "'");
+      std::printf("network-flow trace written to %s (open in Perfetto)\n",
+                  comm_trace_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

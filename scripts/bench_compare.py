@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Noise-aware comparison of two benchmark/metrics JSON reports.
+
+Used by the `bench-regress` CI leg (scripts/ci.sh) to gate performance
+regressions against a checked-in baseline:
+
+  bench_compare.py BASELINE CURRENT [--wall-tolerance 0.20]
+
+The two files must have the same JSON shape (same bench, same
+configuration). Leaves are classified by key:
+
+  - *noisy* leaves — wall-clock and anything derived from it (keys matching
+    "wall", "speedup", "total_seconds", latency-histogram bins, or host
+    facts like "hardware_concurrency") — vary run to run; a relative drift
+    beyond the tolerance prints a WARN but never fails the gate. Simulated
+    *virtual* network seconds are NOT noisy: they are a deterministic
+    function of the run and compare exactly;
+  - every other numeric leaf (operation counts, message counts, byte
+    totals, rounds, parameters) is deterministic by construction, so any
+    drift at all is a FAIL: the protocol, the codecs or the instrumentation
+    changed and the baseline must be regenerated deliberately.
+
+Exit status: 0 = clean or warnings only, 1 = deterministic drift or shape
+mismatch, 2 = usage/IO error. Works on BENCH_parallel.json,
+ppgr.metrics.v1 and ppgr.comm.v1 documents alike (the classification is by
+key, not schema).
+"""
+
+import argparse
+import json
+import sys
+
+NOISY_KEY_PARTS = (
+    "wall",
+    "speedup",
+    "total_seconds",  # wall-clock op-latency totals in ppgr.metrics.v1
+    "hardware_concurrency",
+    "ge_ns",  # latency histogram bin floors
+)
+
+
+def is_noisy(path):
+    # Latency histogram bins hold wall-clock distributions: both the bin
+    # floors and the per-bin counts are timing-dependent.
+    if ".bins[" in path:
+        return True
+    leaf = path.rsplit(".", 1)[-1]
+    return any(part in leaf for part in NOISY_KEY_PARTS)
+
+
+class Comparison:
+    def __init__(self, wall_tolerance):
+        self.wall_tolerance = wall_tolerance
+        self.failures = []
+        self.warnings = []
+        self.exact_checked = 0
+        self.noisy_checked = 0
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def warn(self, msg):
+        self.warnings.append(msg)
+
+    def compare(self, path, base, cur):
+        if type(base) is not type(cur) and not (
+            isinstance(base, (int, float)) and isinstance(cur, (int, float))
+        ):
+            self.fail(
+                f"{path}: type changed "
+                f"({type(base).__name__} -> {type(cur).__name__})"
+            )
+            return
+        if isinstance(base, dict):
+            for key in base.keys() | cur.keys():
+                sub = f"{path}.{key}" if path else key
+                if key not in base:
+                    self.fail(f"{sub}: new key not in baseline")
+                elif key not in cur:
+                    self.fail(f"{sub}: key missing from current report")
+                else:
+                    self.compare(sub, base[key], cur[key])
+        elif isinstance(base, list):
+            if len(base) != len(cur):
+                self.fail(
+                    f"{path}: length changed ({len(base)} -> {len(cur)})"
+                )
+                return
+            for i, (b, c) in enumerate(zip(base, cur)):
+                self.compare(f"{path}[{i}]", b, c)
+        elif isinstance(base, bool) or not isinstance(base, (int, float)):
+            self.exact_checked += 1
+            if base != cur:
+                self.fail(f"{path}: {base!r} -> {cur!r}")
+        elif is_noisy(path):
+            self.noisy_checked += 1
+            ref = max(abs(base), abs(cur))
+            if ref == 0:
+                return
+            rel = abs(cur - base) / ref
+            if rel > self.wall_tolerance:
+                self.warn(
+                    f"{path}: {base:.6g} -> {cur:.6g} "
+                    f"({rel * 100:.1f}% > {self.wall_tolerance * 100:.0f}% "
+                    f"tolerance)"
+                )
+        else:
+            self.exact_checked += 1
+            if base != cur:
+                delta = cur - base
+                self.fail(f"{path}: {base} -> {cur} (delta {delta:+})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a benchmark JSON report against its baseline."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="relative drift allowed on noisy (timing) leaves before a "
+        "warning is printed (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    docs = []
+    for name in (args.baseline, args.current):
+        try:
+            with open(name, "r", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {name}: {e}", file=sys.stderr)
+            return 2
+
+    cmp = Comparison(args.wall_tolerance)
+    cmp.compare("", docs[0], docs[1])
+
+    for msg in cmp.warnings:
+        print(f"WARN  {msg}")
+    for msg in cmp.failures:
+        print(f"FAIL  {msg}")
+    print(
+        f"bench_compare: {cmp.exact_checked} deterministic leaves checked "
+        f"exactly, {cmp.noisy_checked} noisy leaves within "
+        f"{cmp.wall_tolerance * 100:.0f}% tolerance, "
+        f"{len(cmp.warnings)} warning(s), {len(cmp.failures)} failure(s)"
+    )
+    if cmp.failures:
+        print(
+            "bench_compare: deterministic drift — if deliberate, regenerate "
+            "the baseline (see scripts/ci.sh bench-regress)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,12 +5,24 @@
 # parallel_determinism_test and runtime_pool_test with real threads.
 #
 # The `metrics` mode is the focused observability leg: it runs the metrics
-# unit tests, the golden exporter test and the model-vs-measured self-check
-# (bench/validate_model --check) under ASan+UBSan — CI fails on any counter
-# drift between the runtime metrics and the analytical cost model. The full
-# asan/plain legs also include these tests via ctest.
+# unit tests, the golden exporter test and the model-vs-measured self-checks
+# (bench/validate_model --check and --check-comm) under ASan+UBSan — CI
+# fails on any counter drift between the runtime metrics and the analytical
+# cost model, or any wire-byte drift between the measured communication and
+# the closed-form comm model. The full asan/plain legs also include these
+# tests via ctest.
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|metrics|all]   (default: all)
+# The `bench-regress` mode is the perf-regression gate: it reruns the
+# parallel_speedup bench with the checked-in BENCH_parallel.json's exact
+# configuration and compares the fresh report against that baseline with
+# scripts/bench_compare.py — operation counts, message counts and byte
+# totals must match exactly (deterministic; any drift fails), wall-clock
+# drift beyond 20% only warns (1-core CI boxes are noisy). After a
+# deliberate protocol/codec change, regenerate the baseline:
+#   ./build/bench/parallel_speedup --out BENCH_parallel.json
+#
+# Usage: scripts/ci.sh [plain|asan|tsan|metrics|bench-regress|all]
+#        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +38,15 @@ run_leg() {
   ctest --preset "${preset}" -j "${JOBS}" "$@"
 }
 
+bench_regress() {
+  echo "==== [bench-regress] parallel_speedup vs checked-in baseline ===="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target parallel_speedup
+  local fresh="build/bench_regress_current.json"
+  ./build/bench/parallel_speedup --out "${fresh}"
+  python3 scripts/bench_compare.py BENCH_parallel.json "${fresh}"
+}
+
 case "${MODE}" in
   plain) run_leg default ;;
   asan) run_leg asan ;;
@@ -33,14 +54,16 @@ case "${MODE}" in
   # tests are the ones TSan exists for, so the tsan leg runs those. Pass
   # extra ctest args (e.g. -R '.') to widen.
   tsan) run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property' ;;
-  metrics) run_leg asan -R 'runtime_metrics|metrics_export|model_validation' ;;
+  metrics) run_leg asan -R 'runtime_metrics|metrics_export|model_validation|comm_validation|net_test' ;;
+  bench-regress) bench_regress ;;
   all)
     run_leg default
     run_leg asan
     run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
+    bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|metrics|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|metrics|bench-regress|all]" >&2
     exit 2
     ;;
 esac

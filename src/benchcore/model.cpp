@@ -3,6 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
+
+#include "core/codec.h"
+#include "crypto/codec.h"
+#include "dotprod/dot_product.h"
 
 namespace ppgr::benchcore {
 
@@ -114,6 +119,79 @@ HePoint price_he_framework(const ProblemSpec& spec, std::size_t n,
   HePoint point = price_he_counts(counts, real.name(), real_costs,
                                   /*with_trace=*/true);
   return point;
+}
+
+std::vector<runtime::CommLink> model_he_comm(
+    const ProblemSpec& spec, std::size_t n, const group::Group& g,
+    const mpz::FpCtx& dot_field, std::size_t dot_s,
+    const std::vector<std::size_t>& submitted_ids) {
+  using runtime::Phase;
+  // Aggregation keyed exactly like CommRegistry::links() sorts.
+  std::map<std::tuple<Phase, std::size_t, std::size_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      acc;
+  const auto add = [&acc](Phase phase, std::size_t src, std::size_t dst,
+                          std::uint64_t messages, std::uint64_t bytes) {
+    auto& slot = acc[{phase, src, dst}];
+    slot.first += messages;
+    slot.second += messages * bytes;
+  };
+
+  // Phase 1: each participant's disguised query (a d-vector blown up to an
+  // s x d matrix plus two masking d-vectors) to the initiator, one (a, h)
+  // pair back. Dimensions follow Participant::gain_query.
+  const std::size_t d = spec.m + spec.t + 1;
+  const std::size_t s = std::max(dot_s, dotprod::recommended_s(d));
+  const std::size_t query_b = dotprod::bob_message_bytes(dot_field, s, d);
+  const std::size_t answer_b = dotprod::alice_message_bytes(dot_field);
+  for (std::size_t j = 1; j <= n; ++j) {
+    add(Phase::kPhase1, j, 0, 1, query_b);
+    add(Phase::kPhase1, 0, j, 1, answer_b);
+  }
+
+  // Phase 2: every ordered participant pair (a, b) carries the key
+  // broadcast (one element), the proof broadcast (commitment + response)
+  // and the reverse-direction Schnorr challenge (one scalar), then the
+  // bitwise-beta broadcast (l ciphertexts).
+  const std::size_t eb = crypto::elem_wire_bytes(g);
+  const std::size_t sb = crypto::scalar_wire_bytes(g);
+  const std::size_t cb = crypto::ciphertext_wire_bytes(g);
+  const std::size_t l = spec.beta_bits();
+  for (std::size_t a = 1; a <= n; ++a) {
+    for (std::size_t b = 1; b <= n; ++b) {
+      if (a == b) continue;
+      add(Phase::kPhase2, a, b, 1, eb);       // public key y
+      add(Phase::kPhase2, a, b, 1, eb + sb);  // proof (h, z)
+      add(Phase::kPhase2, a, b, 1, sb);       // challenge c for prover b
+      add(Phase::kPhase2, a, b, 1, l * cb);   // encrypted beta bits
+    }
+  }
+  // Comparison sets: each party's flattened (n-1)*l ciphertexts go to P1
+  // (P1's own set stays put), the whole n-set vector walks the decrypt-
+  // shuffle chain P1 -> ... -> Pn, and Pn returns each set to its owner.
+  const std::uint64_t set_b = static_cast<std::uint64_t>(n - 1) * l * cb;
+  for (std::size_t j = 2; j <= n; ++j) add(Phase::kPhase2, j, 1, 1, set_b);
+  for (std::size_t hop = 1; hop + 1 <= n; ++hop)
+    add(Phase::kPhase2, hop, hop + 1, 1, n * set_b);
+  for (std::size_t owner = 1; owner + 1 <= n; ++owner)
+    add(Phase::kPhase2, n, owner, 1, set_b);
+
+  // Phase 3: one fixed-width submission per top-k party.
+  const std::size_t sub_b = core::submission_wire_bytes(spec);
+  for (const std::size_t id : submitted_ids)
+    add(Phase::kPhase3, id, 0, 1, sub_b);
+
+  std::vector<runtime::CommLink> links;
+  links.reserve(acc.size());
+  for (const auto& [key, v] : acc) {
+    links.push_back(runtime::CommLink{.phase = std::get<0>(key),
+                                      .src = std::get<1>(key),
+                                      .dst = std::get<2>(key),
+                                      .messages = v.first,
+                                      .bytes = v.second,
+                                      .tx_s = 0.0});
+  }
+  return links;
 }
 
 SsPoint price_ss_framework(const ProblemSpec& spec, std::size_t n,

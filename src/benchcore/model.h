@@ -88,6 +88,20 @@ struct HeCounts {
                                          const GroupCosts& real_costs,
                                          std::uint64_t seed);
 
+/// Closed-form communication model of the HE framework: per-(phase,
+/// src -> dst) message counts and serialized byte totals computed from the
+/// wire codecs' exact size functions — no protocol run. This is the
+/// Sec. VI-B communication analysis made byte-exact; `validate_model
+/// --check-comm` asserts it matches what CommRegistry measures on the wire
+/// for a real run. Phase-3 routing depends on the ranking outcome, so the
+/// submitting party ids are an input (everything else is data-independent).
+/// Returned links are sorted by (phase, src, dst) with tx_s left at 0 —
+/// virtual time belongs to the simulator, not the model.
+[[nodiscard]] std::vector<runtime::CommLink> model_he_comm(
+    const ProblemSpec& spec, std::size_t n, const group::Group& g,
+    const mpz::FpCtx& dot_field, std::size_t dot_s,
+    const std::vector<std::size_t>& submitted_ids);
+
 /// One priced SS data point.
 struct SsPoint {
   double participant_seconds = 0;

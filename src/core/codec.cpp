@@ -55,23 +55,44 @@ dotprod::AliceRound2 read_alice_round2(Reader& r, const FpCtx& f) {
   return m;
 }
 
-void write_submission(Writer& w, const Initiator::Submission& s) {
-  w.varint(s.participant);
-  w.varint(s.claimed_rank);
-  w.varint(s.info.size());
-  for (const auto v : s.info) w.varint(v);
+namespace {
+std::size_t attr_bytes(const ProblemSpec& spec) { return (spec.d1 + 7) / 8; }
+}  // namespace
+
+void write_submission(Writer& w, const ProblemSpec& spec,
+                      const Initiator::Submission& s) {
+  // Validate up front: the fixed-width encoding would silently truncate an
+  // out-of-range attribute.
+  spec.check_attributes(s.info);
+  w.u32(static_cast<std::uint32_t>(s.participant));
+  w.u32(static_cast<std::uint32_t>(s.claimed_rank));
+  const std::size_t ab = attr_bytes(spec);
+  for (const auto v : s.info) {
+    std::uint8_t be[8];
+    for (std::size_t i = 0; i < ab; ++i)
+      be[i] = static_cast<std::uint8_t>(v >> (8 * (ab - 1 - i)));
+    w.raw(std::span{be, ab});
+  }
 }
 
 Initiator::Submission read_submission(Reader& r, const ProblemSpec& spec) {
   Initiator::Submission s;
-  s.participant = static_cast<std::size_t>(r.varint());
-  s.claimed_rank = static_cast<std::size_t>(r.varint());
-  const std::uint64_t m = r.varint();
-  if (m != spec.m) throw runtime::WireError("submission: wrong dimension");
+  s.participant = r.u32();
+  s.claimed_rank = r.u32();
+  const std::size_t ab = attr_bytes(spec);
   s.info.reserve(spec.m);
-  for (std::uint64_t i = 0; i < m; ++i) s.info.push_back(r.varint());
+  for (std::size_t i = 0; i < spec.m; ++i) {
+    const auto be = r.raw(ab);
+    std::uint64_t v = 0;
+    for (const auto byte : be) v = (v << 8) | byte;
+    s.info.push_back(v);
+  }
   spec.check_attributes(s.info);  // enforces the d1 bound
   return s;
+}
+
+std::size_t submission_wire_bytes(const ProblemSpec& spec) {
+  return spec.m * attr_bytes(spec) + 8;
 }
 
 }  // namespace ppgr::core

@@ -24,8 +24,14 @@ void write_alice_round2(Writer& w, const FpCtx& f,
 [[nodiscard]] dotprod::AliceRound2 read_alice_round2(Reader& r,
                                                      const FpCtx& f);
 
-void write_submission(Writer& w, const Initiator::Submission& s);
+/// Fixed-width framing (u32 participant, u32 claimed rank, m attribute
+/// values of ceil(d1/8) bytes each): the wire size equals the analytic
+/// accounting m*ceil(d1/8) + 8 exactly, independent of the values.
+void write_submission(Writer& w, const ProblemSpec& spec,
+                      const Initiator::Submission& s);
 [[nodiscard]] Initiator::Submission read_submission(Reader& r,
                                                     const ProblemSpec& spec);
+/// The exact encoded submission size (the paper's phase-3 message).
+[[nodiscard]] std::size_t submission_wire_bytes(const ProblemSpec& spec);
 
 }  // namespace ppgr::core

@@ -4,8 +4,12 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "core/codec.h"
+#include "crypto/codec.h"
 #include "group/metered_group.h"
+#include "net/channel.h"
 #include "runtime/thread_pool.h"
+#include "runtime/wire.h"
 
 namespace ppgr::core {
 
@@ -18,12 +22,10 @@ using crypto::encrypt_exp;
 using crypto::rerandomize;
 using mpz::ChaChaRng;
 
-std::size_t scalar_bytes(const Group& g) {
-  return (g.order().bit_length() + 7) / 8;
-}
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
 
-std::size_t info_bytes(const ProblemSpec& spec) {
-  return spec.m * ((spec.d1 + 7) / 8) + 8;  // attributes + rank field
+Payload seal(runtime::Writer&& w) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(w).take());
 }
 
 // Stream-id layout for the deterministic parallel engine: every
@@ -344,13 +346,15 @@ std::optional<Initiator::Submission> Participant::submission(
 //   1. fork-join over an index space (parties, (party, bit) pairs,
 //      (party, peer) pairs, or set owners) — each task works on its own
 //      output slot and draws from its own stream, so the schedule cannot
-//      influence any result;
-//   2. a serial epilogue that records the phase's messages into the trace
-//      in fixed (src, dst) order (message sizes in this protocol are
-//      analytic, so no transfer depends on task results).
+//      influence any result; messages produced inside tasks are staged in
+//      per-task CommBuffers;
+//   2. a serial epilogue that routes the phase's messages through the
+//      net::Router in fixed (src, dst) order — every message is actually
+//      serialized by the wire codecs, accounted at its exact encoded size,
+//      and decoded by the receiving side before use.
 //
-// Consequence: ranks, β values, permutations and the full transfer sequence
-// are bit-identical for every cfg.parallelism value, including the serial
+// Consequence: ranks, β values, permutations and the full flow sequence are
+// bit-identical for every cfg.parallelism value, including the serial
 // engine (parallelism = 1), which runs everything inline on the caller.
 FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                               const AttrVec& w,
@@ -365,6 +369,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   if (cfg.metrics) {
     result.metrics = std::make_unique<runtime::MetricsRegistry>();
     result.spans = std::make_unique<runtime::SpanRecorder>();
+    result.comm = std::make_unique<runtime::CommRegistry>();
   }
   Obs obs{cfg.metrics, result.metrics.get(), result.spans.get()};
 
@@ -375,7 +380,6 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   FrameworkConfig ecfg = cfg;  // effective config the parties bind to
   if (cfg.metrics) ecfg.group = &metered;
   const Group& g = *ecfg.group;
-  const std::size_t ct_bytes = crypto::ciphertext_bytes(g);
 
   runtime::ThreadPool pool{cfg.parallelism};
   mpz::StreamFamily streams{rng};
@@ -404,17 +408,25 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   for (std::size_t j = 1; j <= n; ++j)
     parts.emplace_back(ecfg, j, infos[j - 1], party_rngs[j]);
 
-  auto& trace = result.trace;
-  const std::size_t d = cfg.spec.m + cfg.spec.t + 1;
+  // The message transport: n participants + the initiator (party 0), on the
+  // default complete-graph topology. Byte accounting (trace) is always on;
+  // the flow/virtual-time view (comm) rides on cfg.metrics.
+  net::Router router{n + 1, result.trace, result.comm.get()};
+  // Per-task staging buffers for messages produced inside parallel regions;
+  // absorbed in task-index order after each fork-join barrier.
+  std::vector<runtime::CommBuffer> cbufs(std::max(n, std::size_t{1}));
+  const auto absorb_comm = [&] {
+    for (auto& b : cbufs) router.absorb(b);
+  };
 
   // ---- Phase 1: secure gain computation ----
   obs.set_phase(Phase::kPhase1);
+  router.set_phase(Phase::kPhase1);
   {
     const runtime::SpanScope phase_span{obs.span_sink(),
                                         "phase1.gain_computation",
                                         Phase::kPhase1,
                                         runtime::kOrchestratorParty};
-    std::vector<const dotprod::BobRound1*> queries(n);
     {
       const runtime::SpanScope step{obs.span_sink(), "p1.queries",
                                     Phase::kPhase1,
@@ -425,41 +437,52 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                               "task.gain_query");
         auto scope = timer.time(j + 1);
         ChaChaRng task_rng = task_stream(kPhase1, j + 1, 0);
-        queries[j] = &parts[j].gain_query(task_rng);
+        const auto& q = parts[j].gain_query(task_rng);
+        runtime::Writer w;
+        write_bob_round1(w, *cfg.dot_field, q);
+        cbufs[j].send(j + 1, 0, seal(std::move(w)));
       });
       obs.collect();
     }
-    const std::size_t eff_s = std::max(cfg.dot_s, dotprod::recommended_s(d));
-    for (std::size_t j = 0; j < n; ++j)
-      trace.record(j + 1, 0,
-                   dotprod::bob_message_bytes(*cfg.dot_field, eff_s, d));
-    trace.next_round();
-    std::vector<dotprod::AliceRound2> answers(n);
+    absorb_comm();
+    router.next_round();
     {
       const runtime::SpanScope step{obs.span_sink(), "p1.answers",
                                     Phase::kPhase1,
                                     runtime::kOrchestratorParty};
+      std::vector<Payload> rx(n);
+      for (std::size_t j = 0; j < n; ++j) rx[j] = router.receive(j + 1, 0);
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
         auto guard = obs.task(j, 0, "task.gain_answer", j + 1);
         auto scope = timer.time(0);
-        answers[j] = initiator.answer_gain_query(j + 1, *queries[j]);
+        runtime::Reader r{*rx[j]};
+        const auto q = read_bob_round1(r, *cfg.dot_field);
+        r.finish();
+        runtime::Writer w;
+        write_alice_round2(w, *cfg.dot_field,
+                           initiator.answer_gain_query(j + 1, q));
+        cbufs[j].send(0, j + 1, seal(std::move(w)));
       });
       obs.collect();
     }
-    for (std::size_t j = 0; j < n; ++j)
-      trace.record(0, j + 1, dotprod::alice_message_bytes(*cfg.dot_field));
-    trace.next_round();
+    absorb_comm();
+    router.next_round();
     {
       const runtime::SpanScope step{obs.span_sink(), "p1.finish",
                                     Phase::kPhase1,
                                     runtime::kOrchestratorParty};
+      std::vector<Payload> rx(n);
+      for (std::size_t j = 0; j < n; ++j) rx[j] = router.receive(0, j + 1);
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
         auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
                               "task.gain_finish");
         auto scope = timer.time(j + 1);
-        parts[j].receive_gain_answer(answers[j]);
+        runtime::Reader r{*rx[j]};
+        const auto answer = read_alice_round2(r, *cfg.dot_field);
+        r.finish();
+        parts[j].receive_gain_answer(answer);
       });
       obs.collect();
     }
@@ -470,6 +493,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
 
   // ---- Phase 2: unlinkable gain comparison ----
   obs.set_phase(Phase::kPhase2);
+  router.set_phase(Phase::kPhase2);
   std::vector<CipherSet> v_sets(n, CipherSet((n - 1) * l));
   {
     const runtime::SpanScope phase_span{obs.span_sink(),
@@ -477,10 +501,10 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                                         Phase::kPhase2,
                                         runtime::kOrchestratorParty};
     // Step 5: keys + zero-knowledge proofs (commit/challenge/response
-    // rounds). Per-task trace buffers absorbed in party order keep the
-    // transfer sequence schedule-independent.
+    // rounds). Each party serializes its broadcast once; the n-1 copies
+    // share the payload. Per-task comm buffers absorbed in party order keep
+    // the flow sequence schedule-independent.
     std::vector<Elem> pubkeys(n);
-    std::vector<runtime::TraceBuffer> bufs(n);
     {
       const runtime::SpanScope step{obs.span_sink(), "p2.keygen",
                                     Phase::kPhase2,
@@ -492,17 +516,17 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto scope = timer.time(j + 1);
         ChaChaRng task_rng = task_stream(kKeygen, j + 1, 0);
         pubkeys[j] = parts[j].public_key(task_rng);
+        runtime::Writer w;
+        crypto::write_elem(w, g, pubkeys[j]);
+        const Payload payload = seal(std::move(w));
         for (std::size_t peer = 1; peer <= n; ++peer)
-          if (peer != j + 1) bufs[j].record(j + 1, peer, g.element_bytes());
+          if (peer != j + 1) cbufs[j].send(j + 1, peer, payload);
       });
       obs.collect();
     }
-    for (auto& b : bufs) {
-      trace.absorb(b);
-      b.clear();
-    }
-    trace.next_round();
-    const std::size_t sb = scalar_bytes(g);
+    absorb_comm();
+    router.next_round();
+    const std::size_t sb = crypto::scalar_wire_bytes(g);
     std::vector<crypto::SchnorrTranscript> proofs(n);
     {
       const runtime::SpanScope step{obs.span_sink(), "p2.prove",
@@ -515,24 +539,37 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto scope = timer.time(j + 1);
         ChaChaRng task_rng = task_stream(kProve, j + 1, 0);
         proofs[j] = parts[j].prove_key(n - 1, task_rng);
-        // Commitment broadcast + response broadcast; challenges flow back.
+        // Commitment + response broadcast; each verifier's challenge flows
+        // back accounting-only — its value is already in the transcript the
+        // HBC simulation shares (DESIGN.md Sec. 5d).
+        runtime::Writer w;
+        crypto::write_elem(w, g, proofs[j].commitment);
+        crypto::write_scalar(w, g, proofs[j].response);
+        const Payload payload = seal(std::move(w));
         for (std::size_t peer = 1; peer <= n; ++peer) {
           if (peer == j + 1) continue;
-          bufs[j].record(j + 1, peer, g.element_bytes() + sb);  // h and z
-          bufs[j].record(peer, j + 1, sb);                      // challenge c
+          cbufs[j].send(j + 1, peer, payload);  // h and z
+          cbufs[j].record(peer, j + 1, sb);     // challenge c
         }
       });
       obs.collect();
     }
-    for (auto& b : bufs) {
-      trace.absorb(b);
-      b.clear();
-    }
-    trace.next_round();
+    absorb_comm();
+    router.next_round();
     {
       const runtime::SpanScope step{obs.span_sink(), "p2.verify",
                                     Phase::kPhase2,
                                     runtime::kOrchestratorParty};
+      // Pop the two broadcast rounds' mailboxes in fixed (receiver, sender)
+      // order; each mailbox holds the key share first, then the proof.
+      std::vector<Payload> key_rx(n * n), proof_rx(n * n);
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t peer = 0; peer < n; ++peer) {
+          if (peer == j) continue;
+          key_rx[j * n + peer] = router.receive(peer + 1, j + 1);
+          proof_rx[j * n + peer] = router.receive(peer + 1, j + 1);
+        }
+      }
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
         auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
@@ -540,7 +577,17 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto scope = timer.time(j + 1);
         for (std::size_t peer = 0; peer < n; ++peer) {
           if (peer == j) continue;
-          if (!parts[j].verify_peer_key(pubkeys[peer], proofs[peer]))
+          runtime::Reader kr{*key_rx[j * n + peer]};
+          const Elem y = crypto::read_elem(kr, g);
+          kr.finish();
+          runtime::Reader pr{*proof_rx[j * n + peer]};
+          crypto::SchnorrTranscript t;
+          t.commitment = crypto::read_elem(pr, g);
+          t.response = crypto::read_scalar(pr, g);
+          pr.finish();
+          // Challenge list shared out-of-band (see the prove step above).
+          t.challenges = proofs[peer].challenges;
+          if (!parts[j].verify_peer_key(y, t))
             throw std::runtime_error("run_framework: key proof rejected");
         }
       });
@@ -553,7 +600,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       const Elem joint = crypto::joint_public_key(g, pubkeys);
       for (auto& p : parts) p.set_joint_key(joint);
     }
-    trace.next_round();
+    router.next_round();
 
     // Step 6: bitwise encryptions, broadcast. Fanned out over all n·l
     // (party, bit) pairs — one encryption, one stream each.
@@ -575,10 +622,21 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       });
       obs.collect();
     }
-    for (std::size_t j = 0; j < n; ++j)
+    // Broadcast each party's l ciphertexts. The serialized form travels to
+    // all n-1 peers (transmit: identical copies, counted per link) and is
+    // decoded once — every evaluator compares against the same validated
+    // wire image (DESIGN.md Sec. 5d).
+    for (std::size_t j = 0; j < n; ++j) {
+      runtime::Writer w;
+      crypto::write_ciphertext_seq(w, g, beta_bits[j]);
+      const std::size_t bytes = w.size();
       for (std::size_t peer = 1; peer <= n; ++peer)
-        if (peer != j + 1) trace.record(j + 1, peer, l * ct_bytes);
-    trace.next_round();
+        if (peer != j + 1) router.transmit(j + 1, peer, bytes);
+      runtime::Reader r{w.data()};
+      beta_bits[j] = crypto::read_ciphertext_seq(r, g, l);
+      r.finish();
+    }
+    router.next_round();
 
     // Step 7: comparisons; flattened sets go to P1. The n·(n-1) circuit
     // evaluations are the dominant cost — each (evaluator j, peer i) pair is
@@ -601,9 +659,19 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       });
       obs.collect();
     }
-    for (std::size_t j = 1; j < n; ++j)
-      trace.record(j + 1, 1, v_sets[j].size() * ct_bytes);
-    trace.next_round();
+    // Flattened comparison sets travel to P1 (P1's own set stays put).
+    for (std::size_t j = 1; j < n; ++j) {
+      runtime::Writer w;
+      crypto::write_ciphertext_seq(w, g, v_sets[j]);
+      router.channel(j + 1, 1).send(std::move(w));
+    }
+    router.next_round();
+    for (std::size_t j = 1; j < n; ++j) {
+      const auto payload = router.channel(j + 1, 1).receive();
+      runtime::Reader r{*payload};
+      v_sets[j] = crypto::read_ciphertext_seq(r, g, v_sets[j].size());
+      r.finish();
+    }
 
     // Step 8: the decrypt-shuffle chain P1 -> P2 -> ... -> Pn. Hops are
     // inherently sequential, but within a hop the n-1 foreign sets are
@@ -623,21 +691,36 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       });
       obs.collect();
       if (hop + 1 < n) {
-        // Forward the whole vector V to the next participant.
-        std::size_t total = 0;
-        for (const auto& s : v_sets) total += s.size() * ct_bytes;
-        trace.record(hop + 1, hop + 2, total);
-        trace.next_round();
+        // Forward the whole vector V to the next participant, who decodes
+        // it before its own hop.
+        runtime::Writer w;
+        for (const auto& s : v_sets) crypto::write_ciphertext_seq(w, g, s);
+        router.channel(hop + 1, hop + 2).send(std::move(w));
+        router.next_round();
+        const auto payload = router.channel(hop + 1, hop + 2).receive();
+        runtime::Reader r{*payload};
+        for (auto& s : v_sets) s = crypto::read_ciphertext_seq(r, g, s.size());
+        r.finish();
       }
     }
-    // P_n returns each set to its owner.
-    for (std::size_t owner = 0; owner + 1 < n; ++owner)
-      trace.record(n, owner + 1, v_sets[owner].size() * ct_bytes);
-    trace.next_round();
+    // P_n returns each set to its owner (P_n's own set stays put).
+    for (std::size_t owner = 0; owner + 1 < n; ++owner) {
+      runtime::Writer w;
+      crypto::write_ciphertext_seq(w, g, v_sets[owner]);
+      router.channel(n, owner + 1).send(std::move(w));
+    }
+    router.next_round();
+    for (std::size_t owner = 0; owner + 1 < n; ++owner) {
+      const auto payload = router.channel(n, owner + 1).receive();
+      runtime::Reader r{*payload};
+      v_sets[owner] = crypto::read_ciphertext_seq(r, g, v_sets[owner].size());
+      r.finish();
+    }
   }
 
   // Step 9 / Phase 3: ranks and submissions.
   obs.set_phase(Phase::kPhase3);
+  router.set_phase(Phase::kPhase3);
   {
     const runtime::SpanScope phase_span{obs.span_sink(), "phase3.submission",
                                         Phase::kPhase3,
@@ -664,13 +747,20 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         const auto sub = parts[j].submission(result.ranks[j]);
         if (sub) {
           result.submitted_ids.push_back(j + 1);
-          trace.record(j + 1, 0, info_bytes(cfg.spec));
-          auto scope = timer.time(0);
-          initiator.receive_submission(*sub);
+          runtime::Writer w;
+          write_submission(w, cfg.spec, *sub);
+          router.channel(j + 1, 0).send(std::move(w));
         }
       }
+      for (const std::size_t id : result.submitted_ids) {
+        auto scope = timer.time(0);
+        const auto payload = router.channel(id, 0).receive();
+        runtime::Reader r{*payload};
+        initiator.receive_submission(read_submission(r, cfg.spec));
+        r.finish();
+      }
     }
-    trace.next_round();
+    router.next_round();
     {
       const runtime::SpanScope step{obs.span_sink(), "p3.crosscheck",
                                     Phase::kPhase3,
@@ -681,6 +771,9 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         throw std::runtime_error("run_framework: inconsistent submission");
     }
   }
+
+  if (router.pending() != 0)
+    throw std::logic_error("run_framework: undelivered messages");
 
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)

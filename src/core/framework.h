@@ -18,9 +18,12 @@
 //   recomputing gains.
 //
 // The classes below are the per-party protocol state machines; run_framework
-// drives them, records every message into a runtime::TraceRecorder and
-// accounts per-party computation time — producing both the protocol outputs
-// and the observability data the benchmarks (Figs. 2 and 3) need.
+// drives them and routes every inter-party message — serialized for real
+// through the wire codecs — over a net::Router, which accounts the exact
+// byte counts into a runtime::TraceRecorder (and, with metrics on, a
+// runtime::CommRegistry with simulated virtual-time delivery), and accounts
+// per-party computation time — producing both the protocol outputs and the
+// observability data the benchmarks (Figs. 2 and 3) need.
 #pragma once
 
 #include <memory>
@@ -32,6 +35,7 @@
 #include "dotprod/dot_product.h"
 #include "group/group.h"
 #include "mpz/rng.h"
+#include "runtime/comm.h"
 #include "runtime/metrics.h"
 #include "runtime/span.h"
 #include "runtime/trace.h"
@@ -198,9 +202,15 @@ struct FrameworkResult {
   std::vector<double> compute_seconds;     // index 0 = initiator
   /// Populated iff FrameworkConfig::metrics; null otherwise. Exporters:
   /// metrics->to_json(), spans->chrome_trace_json(),
-  /// runtime::phase_report(*metrics, spans.get()).
+  /// runtime::phase_report(*metrics, spans.get(), comm.get()).
   std::unique_ptr<runtime::MetricsRegistry> metrics;
   std::unique_ptr<runtime::SpanRecorder> spans;
+  /// Measured communication: per-message flows with exact serialized bytes
+  /// and virtual-time delivery segments. Exporters: comm->to_json()
+  /// ("ppgr.comm.v1"), comm->chrome_trace_json() (flow events). Populated
+  /// iff FrameworkConfig::metrics; the TraceRecorder byte accounting is
+  /// always on.
+  std::unique_ptr<runtime::CommRegistry> comm;
 };
 
 /// Runs the whole framework honestly (HBC) with in-process parties.

@@ -4,7 +4,9 @@
 #include <map>
 #include <mutex>
 
+#include "core/codec.h"
 #include "mpz/prime.h"
+#include "net/channel.h"
 
 namespace ppgr::core {
 
@@ -35,14 +37,15 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
 
   SsFrameworkResult result;
   runtime::PartyTimer timer{n + 1};
-  auto& trace = result.trace;
 
   // Serial observability: one metrics buffer installed for the whole run
   // (context re-pointed per step), spans pushed straight to the recorder.
   if (base.metrics) {
     result.metrics = std::make_unique<runtime::MetricsRegistry>();
     result.spans = std::make_unique<runtime::SpanRecorder>();
+    result.comm = std::make_unique<runtime::CommRegistry>();
   }
+  net::Router router{n + 1, result.trace, result.comm.get()};
   runtime::SpanSink* const span_sink = result.spans.get();
   runtime::MetricsBuffer mbuf;
   const runtime::MetricsScope mscope{base.metrics ? &mbuf : nullptr,
@@ -58,48 +61,65 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   parts.reserve(n);
   for (std::size_t j = 1; j <= n; ++j)
     parts.emplace_back(base, j, infos[j - 1], rng);
-  const std::size_t d = base.spec.m + base.spec.t + 1;
   std::vector<Nat> betas(n);
+  router.set_phase(runtime::Phase::kPhase1);
   {
     const runtime::SpanScope phase_span{span_sink, "phase1.gain_computation",
                                         runtime::Phase::kPhase1,
                                         runtime::kOrchestratorParty};
+    // Round 1: every participant's disguised query travels to the
+    // initiator; round 2: the answers travel back. Each message is
+    // serialized for real and decoded by its receiver — exact wire bytes,
+    // same structure as the HE framework's phase 1.
     for (std::size_t j = 0; j < n; ++j) {
-      const runtime::SpanScope party_span{span_sink, "task.gain",
+      const runtime::SpanScope party_span{span_sink, "task.gain_query",
                                           runtime::Phase::kPhase1,
                                           static_cast<std::int32_t>(j + 1)};
-      const dotprod::BobRound1* q;
-      {
-        if (base.metrics)
-          mbuf.set_context(runtime::Phase::kPhase1,
-                           static_cast<std::int32_t>(j + 1));
-        auto scope = timer.time(j + 1);
-        q = &parts[j].gain_query();
-      }
-      trace.record(j + 1, 0,
-                   dotprod::bob_message_bytes(
-                       *base.dot_field,
-                       std::max(base.dot_s, dotprod::recommended_s(d)), d));
-      dotprod::AliceRound2 a;
-      {
-        if (base.metrics) mbuf.set_context(runtime::Phase::kPhase1, 0);
-        auto scope = timer.time(0);
-        a = initiator.answer_gain_query(j + 1, *q);
-      }
-      {
-        if (base.metrics)
-          mbuf.set_context(runtime::Phase::kPhase1,
-                           static_cast<std::int32_t>(j + 1));
-        auto scope = timer.time(j + 1);
-        parts[j].receive_gain_answer(a);
-      }
+      if (base.metrics)
+        mbuf.set_context(runtime::Phase::kPhase1,
+                         static_cast<std::int32_t>(j + 1));
+      auto scope = timer.time(j + 1);
+      const dotprod::BobRound1& q = parts[j].gain_query();
+      runtime::Writer w;
+      write_bob_round1(w, *base.dot_field, q);
+      router.channel(j + 1, 0).send(std::move(w));
+    }
+    router.next_round();
+    for (std::size_t j = 0; j < n; ++j) {
+      const runtime::SpanScope party_span{span_sink, "task.gain_answer",
+                                          runtime::Phase::kPhase1,
+                                          static_cast<std::int32_t>(j + 1)};
+      if (base.metrics) mbuf.set_context(runtime::Phase::kPhase1, 0);
+      auto scope = timer.time(0);
+      const auto payload = router.channel(j + 1, 0).receive();
+      runtime::Reader r{*payload};
+      const auto q = read_bob_round1(r, *base.dot_field);
+      r.finish();
+      runtime::Writer w;
+      write_alice_round2(w, *base.dot_field,
+                         initiator.answer_gain_query(j + 1, q));
+      router.channel(0, j + 1).send(std::move(w));
+    }
+    router.next_round();
+    for (std::size_t j = 0; j < n; ++j) {
+      const runtime::SpanScope party_span{span_sink, "task.gain_finish",
+                                          runtime::Phase::kPhase1,
+                                          static_cast<std::int32_t>(j + 1)};
+      if (base.metrics)
+        mbuf.set_context(runtime::Phase::kPhase1,
+                         static_cast<std::int32_t>(j + 1));
+      auto scope = timer.time(j + 1);
+      const auto payload = router.channel(0, j + 1).receive();
+      runtime::Reader r{*payload};
+      const auto a = read_alice_round2(r, *base.dot_field);
+      r.finish();
+      parts[j].receive_gain_answer(a);
       betas[j] = parts[j].beta();
     }
   }
-  trace.record(0, 1, n * dotprod::alice_message_bytes(*base.dot_field));
-  trace.next_round();
 
   // ---- Phase 2: secret-sharing sort of the β values ----
+  router.set_phase(runtime::Phase::kPhase2);
   if (base.metrics)
     mbuf.set_context(runtime::Phase::kPhase2, runtime::kOrchestratorParty);
   const FpCtx& field = ss_field_for_beta_bits(l);
@@ -124,12 +144,14 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   result.parallel_rounds = sorted.parallel_rounds;
   result.comparators = sorted.comparators;
 
-  // Synthetic trace for network replay: the sort's total bytes spread evenly
-  // over its parallel rounds as all-to-all traffic (every interactive
-  // primitive is an all-to-all exchange of field elements). The recorded
-  // trace is capped at kMaxTraceRounds rounds — beyond that, consecutive
-  // rounds are coalesced into proportionally larger messages so totals stay
-  // exact and memory stays bounded (rounds x n^2 records would reach 10^8 at
+  // Synthetic flows for network replay: the sort's exact metered byte total
+  // spread evenly over its parallel rounds as all-to-all traffic (every
+  // interactive primitive is an all-to-all exchange of field elements).
+  // Content stays inside the in-process engine, so the messages are
+  // transmit()s — accounting and virtual-time only. The recorded rounds are
+  // capped at kMaxTraceRounds — beyond that, consecutive rounds are
+  // coalesced into proportionally larger messages so totals stay exact and
+  // memory stays bounded (rounds x n^2 records would reach 10^8 at
   // n = 100). Network benches use `parallel_rounds` + `sort_costs.bytes`
   // directly and are unaffected.
   constexpr std::uint64_t kMaxTraceRounds = 512;
@@ -141,8 +163,8 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   for (std::uint64_t r = 0; r < recorded_rounds; ++r) {
     for (std::size_t a = 1; a <= n; ++a)
       for (std::size_t b = 1; b <= n; ++b)
-        if (a != b) trace.record(a, b, per_msg);
-    trace.next_round();
+        if (a != b) router.transmit(a, b, per_msg);
+    router.next_round();
   }
 
   // ---- Phase 3 ----
@@ -150,19 +172,28 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
     const runtime::SpanScope phase_span{span_sink, "phase3.submission",
                                         runtime::Phase::kPhase3,
                                         runtime::kOrchestratorParty};
+    router.set_phase(runtime::Phase::kPhase3);
     if (base.metrics)
       mbuf.set_context(runtime::Phase::kPhase3, runtime::kOrchestratorParty);
     result.ranks = sorted.ranks;
     for (std::size_t j = 0; j < n; ++j) {
       if (result.ranks[j] <= base.k) {
         result.submitted_ids.push_back(j + 1);
-        trace.record(j + 1, 0, base.spec.m * ((base.spec.d1 + 7) / 8) + 8);
-        initiator.receive_submission(Initiator::Submission{
-            .participant = j + 1, .claimed_rank = result.ranks[j],
-            .info = infos[j]});
+        runtime::Writer w;
+        write_submission(w, base.spec,
+                         Initiator::Submission{.participant = j + 1,
+                                               .claimed_rank = result.ranks[j],
+                                               .info = infos[j]});
+        router.channel(j + 1, 0).send(std::move(w));
       }
     }
-    trace.next_round();
+    for (const std::size_t id : result.submitted_ids) {
+      const auto payload = router.channel(id, 0).receive();
+      runtime::Reader r{*payload};
+      initiator.receive_submission(read_submission(r, base.spec));
+      r.finish();
+    }
+    router.next_round();
   }
 
   // Nothing counted runs after this point, so draining the buffer while the

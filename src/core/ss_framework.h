@@ -29,6 +29,10 @@ struct SsFrameworkResult {
   /// baseline runs serially, so spans are pushed straight to the recorder.
   std::unique_ptr<runtime::MetricsRegistry> metrics;
   std::unique_ptr<runtime::SpanRecorder> spans;
+  /// Measured communication (see FrameworkResult::comm): phase-1 and
+  /// phase-3 flows carry real serialized payloads; the phase-2 sort traffic
+  /// is transmitted per the engine's exact byte meter.
+  std::unique_ptr<runtime::CommRegistry> comm;
 };
 
 struct SsFrameworkConfig {

@@ -10,6 +10,17 @@ Elem read_elem(Reader& r, const Group& g) {
   return g.deserialize(r.raw(g.element_bytes()));
 }
 
+void write_scalar(Writer& w, const Group& g, const mpz::Nat& s) {
+  w.raw(s.to_bytes_be(scalar_wire_bytes(g)));
+}
+
+mpz::Nat read_scalar(Reader& r, const Group& g) {
+  const mpz::Nat s = mpz::Nat::from_bytes_be(r.raw(scalar_wire_bytes(g)));
+  if (s >= g.order())
+    throw runtime::WireError("scalar out of range");
+  return s;
+}
+
 void write_ciphertext(Writer& w, const Group& g, const Ciphertext& ct) {
   write_elem(w, g, ct.c);
   write_elem(w, g, ct.cp);
@@ -36,6 +47,22 @@ std::vector<Ciphertext> read_ciphertexts(Reader& r, const Group& g) {
   std::vector<Ciphertext> out;
   out.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i)
+    out.push_back(read_ciphertext(r, g));
+  return out;
+}
+
+void write_ciphertext_seq(Writer& w, const Group& g,
+                          std::span<const Ciphertext> cts) {
+  for (const auto& ct : cts) write_ciphertext(w, g, ct);
+}
+
+std::vector<Ciphertext> read_ciphertext_seq(Reader& r, const Group& g,
+                                            std::size_t count) {
+  if (count > r.remaining() / ciphertext_wire_bytes(g) + 1)
+    throw runtime::WireError("ciphertext_seq: count exceeds input");
+  std::vector<Ciphertext> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
     out.push_back(read_ciphertext(r, g));
   return out;
 }
@@ -69,6 +96,10 @@ std::size_t elem_wire_bytes(const Group& g) { return g.element_bytes(); }
 
 std::size_t ciphertext_wire_bytes(const Group& g) {
   return 2 * g.element_bytes();
+}
+
+std::size_t scalar_wire_bytes(const Group& g) {
+  return (g.order().bit_length() + 7) / 8;
 }
 
 }  // namespace ppgr::crypto

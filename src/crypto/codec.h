@@ -18,8 +18,25 @@ using runtime::Writer;
 void write_elem(Writer& w, const Group& g, const Elem& e);
 [[nodiscard]] Elem read_elem(Reader& r, const Group& g);
 
+/// Scalars (exponents mod the group order) travel fixed-width big-endian,
+/// scalar_wire_bytes(g) long; decoding rejects values >= the order. Used by
+/// the Schnorr proof messages, whose sizes must match the analytic
+/// accounting exactly.
+void write_scalar(Writer& w, const Group& g, const mpz::Nat& s);
+[[nodiscard]] mpz::Nat read_scalar(Reader& r, const Group& g);
+
 void write_ciphertext(Writer& w, const Group& g, const Ciphertext& ct);
 [[nodiscard]] Ciphertext read_ciphertext(Reader& r, const Group& g);
+
+/// Fixed-count ciphertext sequence: no length prefix — the count is implied
+/// by the protocol position (l bits, (n-1)*l comparison outcomes, ...), so
+/// the wire size is exactly count * ciphertext_wire_bytes(g). This framing
+/// carries the bulk phase-2 traffic.
+void write_ciphertext_seq(Writer& w, const Group& g,
+                          std::span<const Ciphertext> cts);
+[[nodiscard]] std::vector<Ciphertext> read_ciphertext_seq(Reader& r,
+                                                          const Group& g,
+                                                          std::size_t count);
 
 void write_ciphertexts(Writer& w, const Group& g,
                        std::span<const Ciphertext> cts);
@@ -32,5 +49,6 @@ void write_transcript(Writer& w, const Group& g, const SchnorrTranscript& t);
 /// Encoded sizes (exact): these back the TraceRecorder byte accounting.
 [[nodiscard]] std::size_t elem_wire_bytes(const Group& g);
 [[nodiscard]] std::size_t ciphertext_wire_bytes(const Group& g);
+[[nodiscard]] std::size_t scalar_wire_bytes(const Group& g);
 
 }  // namespace ppgr::crypto

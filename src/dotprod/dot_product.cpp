@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runtime/metrics.h"
+#include "runtime/wire.h"
 
 namespace ppgr::dotprod {
 
@@ -124,7 +125,9 @@ std::size_t recommended_s(std::size_t d) {
 std::size_t bob_message_bytes(const FpCtx& field, std::size_t s,
                               std::size_t d) {
   const std::size_t fe = (field.bits() + 7) / 8;
-  return fe * (s * d + 2 * d);  // QX + c' + g
+  // varint(s) + varint(d) + QX + c' + g — exactly write_bob_round1's size.
+  return runtime::varint_size(s) + runtime::varint_size(d) +
+         fe * (s * d + 2 * d);
 }
 
 std::size_t alice_message_bytes(const FpCtx& field) {

@@ -71,7 +71,9 @@ class DotProductBob {
                                             const FVec& v);
 
 /// Bytes on the wire for each direction (field elements are sent as
-/// fixed-width standard representatives).
+/// fixed-width standard representatives). Exact: equal to the size produced
+/// by core::write_bob_round1 / write_alice_round2, including the two varint
+/// dimension prefixes of Bob's message.
 [[nodiscard]] std::size_t bob_message_bytes(const FpCtx& field, std::size_t s,
                                             std::size_t d);
 [[nodiscard]] std::size_t alice_message_bytes(const FpCtx& field);

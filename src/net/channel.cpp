@@ -1,0 +1,120 @@
+#include "net/channel.h"
+
+#include <stdexcept>
+
+namespace ppgr::net {
+
+namespace {
+
+Topology complete_graph(std::size_t nodes) {
+  std::vector<Edge> edges;
+  edges.reserve(nodes * (nodes - 1) / 2);
+  for (std::size_t a = 0; a < nodes; ++a)
+    for (std::size_t b = a + 1; b < nodes; ++b) edges.push_back(Edge{a, b});
+  return Topology{nodes, std::move(edges)};
+}
+
+}  // namespace
+
+Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
+               runtime::CommRegistry* comm)
+    : Router(parties, trace, comm, Config{}) {}
+
+Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
+               runtime::CommRegistry* comm, Config cfg)
+    : parties_(parties),
+      trace_(trace),
+      comm_(comm),
+      owned_topo_(cfg.topo != nullptr
+                      ? std::nullopt
+                      : std::optional<Topology>{complete_graph(parties)}),
+      topo_(cfg.topo != nullptr ? cfg.topo : &*owned_topo_),
+      node_of_(cfg.topo != nullptr ? std::move(cfg.node_of)
+                                   : std::vector<std::size_t>{}),
+      sim_(*topo_, cfg.sim),
+      mailboxes_(parties * parties) {
+  if (parties_ < 2) throw std::invalid_argument("Router: need >= 2 parties");
+  if (node_of_.empty()) {
+    node_of_.resize(parties_);
+    for (std::size_t p = 0; p < parties_; ++p) node_of_[p] = p;
+  }
+  if (node_of_.size() != parties_)
+    throw std::invalid_argument("Router: node_of size != parties");
+  for (const std::size_t node : node_of_)
+    if (node >= topo_->nodes())
+      throw std::invalid_argument("Router: node_of entry out of range");
+}
+
+void Router::set_phase(runtime::Phase p) {
+  if (comm_ != nullptr) comm_->set_phase(p);
+}
+
+void Router::account(std::size_t src, std::size_t dst, std::size_t bytes) {
+  if (src >= parties_ || dst >= parties_)
+    throw std::invalid_argument("Router: party id out of range");
+  trace_.record(src, dst, bytes);
+  if (comm_ != nullptr) {
+    comm_->record(src, dst, bytes);
+    round_.push_back(runtime::Transfer{0, src, dst, bytes});
+  }
+}
+
+std::deque<std::shared_ptr<const std::vector<std::uint8_t>>>&
+Router::mailbox(std::size_t src, std::size_t dst) {
+  return mailboxes_[src * parties_ + dst];
+}
+
+void Router::send(std::size_t src, std::size_t dst,
+                  std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+  if (payload == nullptr) throw std::invalid_argument("Router: null payload");
+  account(src, dst, payload->size());
+  mailbox(src, dst).push_back(std::move(payload));
+  ++pending_;
+}
+
+void Router::send(std::size_t src, std::size_t dst,
+                  std::vector<std::uint8_t> bytes) {
+  send(src, dst,
+       std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes)));
+}
+
+void Router::transmit(std::size_t src, std::size_t dst, std::size_t bytes) {
+  account(src, dst, bytes);
+}
+
+void Router::absorb(runtime::CommBuffer& buf) {
+  for (const auto& m : buf.staged()) {
+    if (m.payload != nullptr) {
+      send(m.src, m.dst, m.payload);
+    } else {
+      transmit(m.src, m.dst, m.bytes);
+    }
+  }
+  buf.clear();
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> Router::receive(
+    std::size_t src, std::size_t dst) {
+  if (src >= parties_ || dst >= parties_)
+    throw std::invalid_argument("Router: party id out of range");
+  auto& box = mailbox(src, dst);
+  if (box.empty())
+    throw std::logic_error("Router::receive: mailbox empty");
+  auto payload = std::move(box.front());
+  box.pop_front();
+  --pending_;
+  return payload;
+}
+
+void Router::next_round() {
+  if (comm_ != nullptr) {
+    const auto detail = sim_.replay_detailed(round_, node_of_);
+    comm_->close_round(detail.timings, detail.summary.total_seconds);
+    round_.clear();
+  }
+  trace_.next_round();
+}
+
+std::size_t Router::pending() const { return pending_; }
+
+}  // namespace ppgr::net

@@ -1,0 +1,146 @@
+// Metered party-to-party message transport.
+//
+// net::Router is the single choke point every inter-party message of the
+// in-process frameworks goes through: a send hands over *serialized* bytes
+// (produced by the wire codecs of crypto/codec.h and core/codec.h), the
+// router accounts the exact byte count in the runtime::TraceRecorder (the
+// replayable transfer log) and the runtime::CommRegistry (the measured
+// communication view), and enqueues the payload in a FIFO per-(src, dst)
+// mailbox for the destination to receive() and decode. next_round() is the
+// synchronous round barrier: it closes the trace round and replays the
+// round's transfers through net::Simulator on the router's topology,
+// stamping each flow with its simulated queueing / transmission /
+// propagation segments on the virtual timeline.
+//
+// Two send flavours (DESIGN.md Sec. 5d):
+//  - send(): payload retained and later receive()d — the bytes a decoding
+//    party actually consumes;
+//  - transmit(): accounting + virtual-time delivery only, for messages
+//    whose serialized form was produced and measured but whose content the
+//    in-process HBC simulation hands over out-of-band (e.g. per-verifier
+//    Schnorr challenges already embedded in the prover's transcript).
+//
+// Parallel regions never touch the router directly: tasks stage messages in
+// per-task runtime::CommBuffers and the orchestrator absorbs them in
+// task-index order (absorb()), so the flow sequence is schedule-independent.
+//
+// The default topology is the complete graph over the parties (party p on
+// node p) with the simulator's stock 2 Mbps / 50 ms links: every pair is
+// directly connected, so virtual times reflect per-link serialization and
+// contention, not routing detours. Benches that want the paper's sparse
+// 80-node network pass an explicit topology + placement.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/simulator.h"
+#include "net/topology.h"
+#include "runtime/comm.h"
+#include "runtime/trace.h"
+#include "runtime/wire.h"
+
+namespace ppgr::net {
+
+class Channel;
+
+class Router {
+ public:
+  struct Config {
+    SimulatorConfig sim{};
+    /// Optional explicit topology and party -> node placement; both must be
+    /// set together and node_of must have one entry per party. Default:
+    /// complete graph with party p on node p.
+    const Topology* topo = nullptr;
+    std::vector<std::size_t> node_of{};
+  };
+
+  /// `trace` must outlive the router; `comm` may be null (byte accounting
+  /// into the trace only — no flow records, no virtual-time simulation).
+  Router(std::size_t parties, runtime::TraceRecorder& trace,
+         runtime::CommRegistry* comm);
+  Router(std::size_t parties, runtime::TraceRecorder& trace,
+         runtime::CommRegistry* comm, Config cfg);
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  /// Forwards the attribution phase to the comm registry (no-op without one).
+  void set_phase(runtime::Phase p);
+
+  /// Serialized send: accounts payload->size() bytes on (src, dst) and
+  /// enqueues the payload for receive(). Broadcasts share one payload.
+  void send(std::size_t src, std::size_t dst,
+            std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  void send(std::size_t src, std::size_t dst, std::vector<std::uint8_t> bytes);
+  /// Accounting-only send; see the header comment.
+  void transmit(std::size_t src, std::size_t dst, std::size_t bytes);
+  /// Absorbs a per-task staging buffer: its messages (in staged order) are
+  /// accounted and, when they carry payloads, enqueued. Clears the buffer.
+  void absorb(runtime::CommBuffer& buf);
+
+  /// Pops the oldest pending payload on (src, dst). Throws std::logic_error
+  /// when the mailbox is empty.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> receive(
+      std::size_t src, std::size_t dst);
+
+  /// Round barrier: simulates the round's messages on the virtual network
+  /// (filling the comm registry's flow timings) and closes the trace round.
+  void next_round();
+
+  /// Pending (sent, not yet received) payloads across all mailboxes; a
+  /// cleanly finished protocol leaves 0.
+  [[nodiscard]] std::size_t pending() const;
+
+  [[nodiscard]] Channel channel(std::size_t src, std::size_t dst);
+
+ private:
+  void account(std::size_t src, std::size_t dst, std::size_t bytes);
+  [[nodiscard]] std::deque<std::shared_ptr<const std::vector<std::uint8_t>>>&
+  mailbox(std::size_t src, std::size_t dst);
+
+  std::size_t parties_;
+  runtime::TraceRecorder& trace_;
+  runtime::CommRegistry* comm_;
+  std::optional<Topology> owned_topo_;
+  const Topology* topo_;
+  std::vector<std::size_t> node_of_;
+  Simulator sim_;
+  std::vector<std::deque<std::shared_ptr<const std::vector<std::uint8_t>>>>
+      mailboxes_;
+  std::vector<runtime::Transfer> round_;  // current round, for the simulator
+  std::size_t pending_ = 0;
+};
+
+/// Lightweight directed (src -> dst) handle onto a Router — what protocol
+/// code passes around to send or receive on one link.
+class Channel {
+ public:
+  Channel(Router& router, std::size_t src, std::size_t dst)
+      : router_(&router), src_(src), dst_(dst) {}
+
+  [[nodiscard]] std::size_t src() const { return src_; }
+  [[nodiscard]] std::size_t dst() const { return dst_; }
+
+  /// Sends the writer's bytes (consumes the writer).
+  void send(runtime::Writer&& w) { router_->send(src_, dst_, w.take()); }
+  void send(std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+    router_->send(src_, dst_, std::move(payload));
+  }
+  void transmit(std::size_t bytes) { router_->transmit(src_, dst_, bytes); }
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> receive() {
+    return router_->receive(src_, dst_);
+  }
+
+ private:
+  Router* router_;
+  std::size_t src_;
+  std::size_t dst_;
+};
+
+inline Channel Router::channel(std::size_t src, std::size_t dst) {
+  return Channel{*this, src, dst};
+}
+
+}  // namespace ppgr::net

@@ -11,28 +11,39 @@ namespace {
 
 struct PacketEvent {
   double time;          // arrival at the head of its next link
+  std::uint64_t seq;    // submission order — FIFO tie-break for equal times
   std::size_t packet;   // packet index
   std::size_t hop;      // index into the packet's path
-  bool operator>(const PacketEvent& o) const { return time > o.time; }
+  bool operator>(const PacketEvent& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
 };
 
 struct Packet {
   const std::vector<std::size_t>* path;  // edge indices
   std::size_t src;                       // traversal origin (fixes direction)
   std::size_t bytes;
-  double delivered = -1.0;
+  std::size_t transfer;                  // index into the round's transfers
 };
 
 }  // namespace
 
 Simulator::Simulator(const Topology& topo, SimulatorConfig config)
     : topo_(topo), cfg_(config) {
-  if (cfg_.bandwidth_bps <= 0 || cfg_.latency_s < 0 || cfg_.mtu_bytes == 0)
+  if (cfg_.bandwidth_bps <= 0 || cfg_.latency_s < 0 ||
+      cfg_.mtu_bytes <= cfg_.header_bytes)
     throw std::invalid_argument("Simulator: bad config");
 }
 
 SimulationResult Simulator::replay(std::span<const runtime::Transfer> trace,
                                    std::span<const std::size_t> node_of) {
+  return replay_detailed(trace, node_of).summary;
+}
+
+DetailedSimulationResult Simulator::replay_detailed(
+    std::span<const runtime::Transfer> trace,
+    std::span<const std::size_t> node_of) {
   for (const auto& t : trace) {
     if (t.src >= node_of.size() || t.dst >= node_of.size())
       throw std::invalid_argument("Simulator::replay: party id out of range");
@@ -41,17 +52,19 @@ SimulationResult Simulator::replay(std::span<const runtime::Transfer> trace,
   // Group transfers by round (rounds may be sparse).
   std::size_t max_round = 0;
   for (const auto& t : trace) max_round = std::max(max_round, t.round);
-  std::vector<std::vector<const runtime::Transfer*>> by_round(max_round + 1);
-  for (const auto& t : trace) by_round[t.round].push_back(&t);
+  std::vector<std::vector<std::size_t>> by_round(max_round + 1);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    by_round[trace[i].round].push_back(i);
 
-  SimulationResult result;
+  DetailedSimulationResult result;
+  result.timings.resize(trace.size());
   // Per-direction link occupancy: 2 entries per undirected edge.
   std::vector<double> link_free(2 * topo_.edges().size(), 0.0);
   double clock = 0.0;
 
   for (const auto& round : by_round) {
     if (round.empty()) {
-      result.round_seconds.push_back(0.0);
+      result.summary.round_seconds.push_back(0.0);
       continue;
     }
     // Round barrier: reset link availability to the round start (everything
@@ -63,21 +76,39 @@ SimulationResult Simulator::replay(std::span<const runtime::Transfer> trace,
     std::priority_queue<PacketEvent, std::vector<PacketEvent>,
                         std::greater<PacketEvent>>
         events;
-    for (const runtime::Transfer* t : round) {
-      const std::size_t src_node = node_of[t->src];
-      const std::size_t dst_node = node_of[t->dst];
-      if (src_node == dst_node) continue;  // co-located: free
+    std::uint64_t seq = 0;
+    for (const std::size_t ti : round) {
+      const runtime::Transfer& t = trace[ti];
+      runtime::FlowTiming& timing = result.timings[ti];
+      timing.send_s = clock;
+      const std::size_t src_node = node_of[t.src];
+      const std::size_t dst_node = node_of[t.dst];
+      if (src_node == dst_node) {
+        // Co-located parties: delivered instantly, no packets.
+        timing.deliver_s = clock;
+        continue;
+      }
       const auto& path = topo_.path(src_node, dst_node);
       const std::size_t payload = cfg_.mtu_bytes - cfg_.header_bytes;
-      const std::size_t n_packets = (t->bytes + payload - 1) / payload;
+      // A zero-byte message still travels as one header-only packet.
+      const std::size_t n_packets =
+          std::max<std::size_t>(1, (t.bytes + payload - 1) / payload);
+      std::size_t wire_bytes = 0;
       for (std::size_t p = 0; p < n_packets; ++p) {
         const std::size_t body =
-            std::min(payload, t->bytes - p * payload) + cfg_.header_bytes;
-        packets.push_back(Packet{&path, src_node, body});
-        events.push(PacketEvent{clock, packets.size() - 1, 0});
+            std::min(payload, t.bytes - std::min(t.bytes, p * payload)) +
+            cfg_.header_bytes;
+        wire_bytes += body;
+        packets.push_back(Packet{&path, src_node, body, ti});
+        events.push(PacketEvent{clock, seq++, packets.size() - 1, 0});
       }
+      // Pure segments, independent of contention: one-link serialization of
+      // the whole message and per-hop propagation. Queueing is whatever the
+      // event simulation adds on top.
+      timing.tx_s = static_cast<double>(wire_bytes) * 8.0 / cfg_.bandwidth_bps;
+      timing.prop_s = static_cast<double>(path.size()) * cfg_.latency_s;
     }
-    result.packets += packets.size();
+    result.summary.packets += packets.size();
 
     double round_end = clock;
     while (!events.empty()) {
@@ -100,16 +131,23 @@ SimulationResult Simulator::replay(std::span<const runtime::Transfer> trace,
       free_at = depart + tx;
       const double arrive = depart + tx + cfg_.latency_s;
       if (ev.hop + 1 == pkt.path->size()) {
-        pkt.delivered = arrive;
+        runtime::FlowTiming& timing = result.timings[pkt.transfer];
+        timing.deliver_s = std::max(timing.deliver_s, arrive);
         round_end = std::max(round_end, arrive);
       } else {
-        events.push(PacketEvent{arrive, ev.packet, ev.hop + 1});
+        events.push(PacketEvent{arrive, seq++, ev.packet, ev.hop + 1});
       }
     }
-    result.round_seconds.push_back(round_end - clock);
+    for (const std::size_t ti : round) {
+      runtime::FlowTiming& timing = result.timings[ti];
+      timing.queue_s = std::max(
+          0.0, (timing.deliver_s - timing.send_s) - timing.tx_s -
+                   timing.prop_s);
+    }
+    result.summary.round_seconds.push_back(round_end - clock);
     clock = round_end;
   }
-  result.total_seconds = clock;
+  result.summary.total_seconds = clock;
   return result;
 }
 

@@ -13,9 +13,16 @@
 // phenomenon Fig. 3(b) demonstrates (many small rounds lose to few bulk
 // transfers once latency and congestion matter) is a property of the
 // bandwidth/latency arithmetic, not of TCP dynamics. See DESIGN.md.
+//
+// Edge cases pinned by tests/net_test.cpp: a zero-byte message still costs
+// one header-only packet (TCP never sends a naked payload of zero frames
+// for free); same-time packet events drain in FIFO submission order; and a
+// transfer whose endpoints map to the same node is co-located (delivered
+// instantly, no packets).
 #pragma once
 
 #include "net/topology.h"
+#include "runtime/comm.h"
 #include "runtime/trace.h"
 
 namespace ppgr::net {
@@ -33,19 +40,38 @@ struct SimulationResult {
   std::size_t packets = 0;
 };
 
+/// replay_detailed(): the summary plus one timing record per input
+/// transfer, in input order (runtime::FlowTiming — see runtime/comm.h for
+/// the segment semantics). Times are absolute simulation seconds.
+struct DetailedSimulationResult {
+  SimulationResult summary;
+  std::vector<runtime::FlowTiming> timings;
+};
+
 class Simulator {
  public:
   Simulator(const Topology& topo, SimulatorConfig config);
 
   /// Replays a recorded protocol trace. node_of[party] maps party ids to
-  /// topology nodes (must be injective).
+  /// topology nodes (must be injective up to co-location; transfers between
+  /// parties on the same node are free).
   [[nodiscard]] SimulationResult replay(
       std::span<const runtime::Transfer> trace,
       std::span<const std::size_t> node_of);
 
-  /// Convenience: one message, returns delivery latency from an idle start.
+  /// Like replay(), but also decomposes every transfer's delivery into
+  /// queueing / transmission / propagation segments. This is what
+  /// net::Router uses to stamp runtime::CommRegistry flows.
+  [[nodiscard]] DetailedSimulationResult replay_detailed(
+      std::span<const runtime::Transfer> trace,
+      std::span<const std::size_t> node_of);
+
+  /// Convenience: one message, returns delivery latency from an idle start
+  /// (0 when src_node == dst_node).
   [[nodiscard]] double send_once(std::size_t src_node, std::size_t dst_node,
                                  std::size_t bytes);
+
+  [[nodiscard]] const SimulatorConfig& config() const { return cfg_; }
 
  private:
   const Topology& topo_;

@@ -110,9 +110,9 @@ Topology Topology::random_connected(std::size_t nodes,
 
 const std::vector<std::size_t>& Topology::path(std::size_t a,
                                                std::size_t b) const {
-  if (a >= n_ || b >= n_ || a == b)
+  if (a >= n_ || b >= n_)
     throw std::invalid_argument("Topology::path: bad endpoints");
-  return paths_[a * n_ + b];
+  return paths_[a * n_ + b];  // a == b: empty path (distance 0)
 }
 
 }  // namespace ppgr::net

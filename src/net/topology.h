@@ -40,6 +40,7 @@ class Topology {
   /// Hop-count shortest path from a to b as a sequence of *directed edge
   /// indices* into edges() (each index identifies the undirected link; the
   /// traversal direction is implied by walking from a). Precomputed via BFS.
+  /// path(a, a) is the empty path (a node reaches itself in zero hops).
   [[nodiscard]] const std::vector<std::size_t>& path(std::size_t a,
                                                      std::size_t b) const;
   /// Hop distance.

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "runtime/comm.h"
 #include "runtime/span.h"
 
 namespace ppgr::runtime {
@@ -286,7 +287,8 @@ std::string MetricsRegistry::to_json(bool include_timing) const {
 }
 
 std::string phase_report(const MetricsRegistry& reg,
-                         const SpanRecorder* spans) {
+                         const SpanRecorder* spans,
+                         const CommRegistry* comm) {
   std::array<double, kPhaseCount> wall{};
   if (spans != nullptr) wall = spans->phase_wall_seconds();
 
@@ -360,6 +362,74 @@ std::string phase_report(const MetricsRegistry& reg,
     std::snprintf(buf, sizeof(buf), "%-24s %12" PRIu64 " %11.1f us\n",
                   op_name(static_cast<CryptoOp>(i)), h.count(), mean_us);
     out += buf;
+  }
+
+  if (comm != nullptr && !comm->empty()) {
+    const std::vector<CommLink> links = comm->links();
+    // Per-phase summary first: messages, exact serialized bytes, and the
+    // phase's virtual network time.
+    out += "\ncommunication (measured on the wire, simulated network time)\n";
+    {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%-8s %10s %12s %12s\n", "phase",
+                    "messages", "bytes", "net[s]");
+      out += buf;
+      out += std::string(std::string_view{buf}.size() - 1, '-') + "\n";
+    }
+    std::array<std::uint64_t, kPhaseCount> msgs{};
+    std::array<std::uint64_t, kPhaseCount> bytes{};
+    for (const CommLink& lk : links) {
+      msgs[static_cast<std::size_t>(lk.phase)] += lk.messages;
+      bytes[static_cast<std::size_t>(lk.phase)] += lk.bytes;
+    }
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const auto phase = static_cast<Phase>(p);
+      if (msgs[p] == 0 && comm->phase_virtual_seconds(phase) == 0.0) continue;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%-8s %10" PRIu64 " %12" PRIu64 " %12.6f\n",
+                    phase_name(phase), msgs[p], bytes[p],
+                    comm->phase_virtual_seconds(phase));
+      out += buf;
+    }
+    {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%-8s %10zu %12" PRIu64 " %12.6f\n", "total",
+                    comm->message_count(), comm->total_bytes(),
+                    comm->virtual_seconds());
+      out += buf;
+    }
+
+    // Per-link breakdown: utilization is the link's summed transmission
+    // time over its phase's virtual duration (how busy the simulator kept
+    // that direction of the link).
+    out += "\nper-link breakdown (util = tx seconds / phase net seconds)\n";
+    {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%-8s %9s %10s %12s %12s %8s\n",
+                    "phase", "link", "messages", "bytes", "tx[s]", "util");
+      out += buf;
+      out += std::string(std::string_view{buf}.size() - 1, '-') + "\n";
+    }
+    for (const CommLink& lk : links) {
+      const double phase_s = comm->phase_virtual_seconds(lk.phase);
+      char link[32];
+      std::snprintf(link, sizeof(link), "%zu->%zu", lk.src, lk.dst);
+      char buf[160];
+      if (phase_s > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s %9s %10" PRIu64 " %12" PRIu64 " %12.6f %7.1f%%\n",
+                      phase_name(lk.phase), link, lk.messages, lk.bytes,
+                      lk.tx_s, 100.0 * lk.tx_s / phase_s);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s %9s %10" PRIu64 " %12" PRIu64 " %12.6f %8s\n",
+                      phase_name(lk.phase), link, lk.messages, lk.bytes,
+                      lk.tx_s, "-");
+      }
+      out += buf;
+    }
   }
   return out;
 }

@@ -296,10 +296,14 @@ class MetricsRegistry {
   std::array<LatencyHistogram, kOpCount> hist_;
 };
 
+class CommRegistry;  // runtime/comm.h (which includes this header)
+
 /// Plain-text per-phase report: wall seconds per phase (from depth-1 spans,
-/// when a recorder is supplied) and the key operation counters. The third
-/// exporter of the observability layer, for terminals instead of tooling.
+/// when a recorder is supplied) and the key operation counters; with a
+/// CommRegistry, also the per-phase communication summary and the per-link
+/// breakdown with simulated utilization. For terminals instead of tooling.
 [[nodiscard]] std::string phase_report(const MetricsRegistry& reg,
-                                       const SpanRecorder* spans);
+                                       const SpanRecorder* spans,
+                                       const CommRegistry* comm = nullptr);
 
 }  // namespace ppgr::runtime

@@ -31,6 +31,17 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Encoded size of varint(v) in bytes — used by the analytic message-size
+/// formulas so they stay exactly equal to the serialized sizes.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }

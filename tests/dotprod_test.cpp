@@ -119,7 +119,9 @@ TEST(DotProduct, AliceMessageCountsUnknownsExceedEquations) {
 TEST(DotProduct, MessageSizeAccounting) {
   const FpCtx& f = test_field();
   const std::size_t fe = (f.bits() + 7) / 8;
-  EXPECT_EQ(bob_message_bytes(f, 4, 10), fe * (4 * 10 + 20));
+  // Field elements plus the two varint dimension prefixes (s=4, d=10 both
+  // encode in one byte).
+  EXPECT_EQ(bob_message_bytes(f, 4, 10), fe * (4 * 10 + 20) + 2);
   EXPECT_EQ(alice_message_bytes(f), 2 * fe);
 }
 

@@ -79,20 +79,27 @@ TEST(MetricsExport, DeterministicJsonBitIdenticalAcrossParallelism) {
   const auto serial = run_at(1);
   ASSERT_NE(serial.metrics, nullptr);
   ASSERT_NE(serial.spans, nullptr);
+  ASSERT_NE(serial.comm, nullptr);
   const std::string metrics_json =
       serial.metrics->to_json(/*include_timing=*/false);
   const std::string trace_json =
       serial.spans->chrome_trace_json(/*deterministic=*/true);
+  const std::string comm_json = serial.comm->to_json();
+  const std::string comm_trace_json = serial.comm->chrome_trace_json();
 
   const auto two = run_at(2);
   EXPECT_EQ(metrics_json, two.metrics->to_json(false));
   EXPECT_EQ(trace_json, two.spans->chrome_trace_json(true));
+  EXPECT_EQ(comm_json, two.comm->to_json());
+  EXPECT_EQ(comm_trace_json, two.comm->chrome_trace_json());
 
   std::size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 2;
   const auto many = run_at(hw);
   EXPECT_EQ(metrics_json, many.metrics->to_json(false));
   EXPECT_EQ(trace_json, many.spans->chrome_trace_json(true));
+  EXPECT_EQ(comm_json, many.comm->to_json());
+  EXPECT_EQ(comm_trace_json, many.comm->chrome_trace_json());
 }
 
 TEST(MetricsExport, MetricsJsonMatchesGolden) {
@@ -105,6 +112,16 @@ TEST(MetricsExport, ChromeTraceMatchesGolden) {
   const auto result = run_at(1);
   check_golden("trace_small.json",
                result.spans->chrome_trace_json(/*deterministic=*/true));
+}
+
+TEST(MetricsExport, CommJsonMatchesGolden) {
+  const auto result = run_at(1);
+  check_golden("comm_small.json", result.comm->to_json());
+}
+
+TEST(MetricsExport, CommChromeTraceMatchesGolden) {
+  const auto result = run_at(1);
+  check_golden("comm_trace_small.json", result.comm->chrome_trace_json());
 }
 
 TEST(MetricsExport, DisabledByDefault) {
@@ -122,6 +139,9 @@ TEST(MetricsExport, DisabledByDefault) {
   const auto result = run_framework(cfg, {0, 0, 0}, {1, 1, 1}, infos, rng);
   EXPECT_EQ(result.metrics, nullptr);
   EXPECT_EQ(result.spans, nullptr);
+  EXPECT_EQ(result.comm, nullptr);
+  // The replayable byte-trace pillar stays on regardless.
+  EXPECT_GT(result.trace.total_bytes(), 0u);
 }
 
 }  // namespace

@@ -227,9 +227,9 @@ TEST(CoreCodec, DotProductMessagesRoundTrip) {
 
   Writer w;
   core::write_bob_round1(w, f, bob.round1());
-  // Codec size must match the trace accounting formula.
-  EXPECT_NEAR(static_cast<double>(w.size()),
-              static_cast<double>(dotprod::bob_message_bytes(f, 4, 6)), 4.0);
+  // Codec size must match the trace accounting formula exactly (the comm
+  // layer asserts measured == modeled bytes).
+  EXPECT_EQ(w.size(), dotprod::bob_message_bytes(f, 4, 6));
 
   Reader r{w.data()};
   const auto m = core::read_bob_round1(r, f);
@@ -263,7 +263,9 @@ TEST(CoreCodec, SubmissionRoundTripAndValidation) {
   const core::Initiator::Submission s{.participant = 4, .claimed_rank = 2,
                                       .info = {10, 20, 30}};
   Writer w;
-  core::write_submission(w, s);
+  core::write_submission(w, spec, s);
+  // Fixed-width framing: the encoded size is the analytic accounting.
+  EXPECT_EQ(w.size(), core::submission_wire_bytes(spec));
   Reader r{w.data()};
   const auto s2 = core::read_submission(r, spec);
   r.finish();
@@ -271,18 +273,164 @@ TEST(CoreCodec, SubmissionRoundTripAndValidation) {
   EXPECT_EQ(s2.claimed_rank, 2u);
   EXPECT_EQ(s2.info, s.info);
 
-  // Wrong dimension rejected.
+  // Wrong dimension rejected (payload too short for a 4-attribute spec).
   const core::ProblemSpec other{.m = 4, .t = 1, .d1 = 8, .d2 = 4, .h = 6};
   Reader r2{w.data()};
   EXPECT_THROW((void)core::read_submission(r2, other), WireError);
 
-  // Attribute exceeding d1 rejected.
+  // Attribute exceeding d1 rejected at write time — the fixed-width
+  // encoding would otherwise truncate it silently.
   core::Initiator::Submission wide = s;
   wide.info[0] = 300;  // > 2^8
   Writer w3;
-  core::write_submission(w3, wide);
-  Reader r3{w3.data()};
-  EXPECT_THROW((void)core::read_submission(r3, spec), std::invalid_argument);
+  EXPECT_THROW(core::write_submission(w3, spec, wide), std::invalid_argument);
+
+  // And at read time: bytes valid for a wide spec decode to an attribute
+  // out of range for a narrower one.
+  const core::ProblemSpec narrow{.m = 3, .t = 1, .d1 = 4, .d2 = 4, .h = 6};
+  Writer w4;
+  core::write_submission(w4, spec, core::Initiator::Submission{
+                                       .participant = 4,
+                                       .claimed_rank = 2,
+                                       .info = {200, 20, 30}});
+  Reader r4{w4.data()};
+  EXPECT_THROW((void)core::read_submission(r4, narrow), std::invalid_argument);
+}
+
+// ---- boundary-value round trips ----
+// The metered channels assert measured == modeled bytes, so the codecs must
+// hold their fixed widths (and stay lossless) at the representational
+// extremes, not just for typical values.
+
+TEST(CodecBoundary, BetaWraparoundFieldElems) {
+  // Phase 1 converts the dot-product result to an l-bit unsigned β via the
+  // field's centered representation; exercise the codec at the 2^(l-1)
+  // sign-wraparound values and their negated (near-p) representatives.
+  const auto& f = core::default_dot_field();
+  const std::size_t l = 12;
+  // Signed β range is [-2^(l-1), 2^(l-1)); the centered field representative
+  // of a negative β is p - |β|, so the negative half lives next to the
+  // field's own upper boundary.
+  std::vector<Nat> reps;
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, (std::uint64_t{1} << (l - 1)) - 1}) {
+    reps.push_back(Nat{static_cast<mpz::Limb>(v)});  // β = v
+    if (v != 0)
+      reps.push_back(Nat::sub(f.p(), Nat{static_cast<mpz::Limb>(v)}));  // -v
+  }
+  reps.push_back(Nat::sub(
+      f.p(), Nat{static_cast<mpz::Limb>(std::uint64_t{1} << (l - 1))}));
+  for (const auto& rep : reps) {
+    const Nat x = f.to(rep);
+    Writer w;
+    core::write_field_elem(w, f, x);
+    EXPECT_EQ(w.size(), (f.bits() + 7) / 8);
+    Reader r{w.data()};
+    const Nat back = core::read_field_elem(r, f);
+    r.finish();
+    EXPECT_EQ(f.from(back), rep);
+    // The decoded element yields the same l-bit β.
+    EXPECT_EQ(core::signed_to_unsigned(f.from_centered(back), l),
+              core::signed_to_unsigned(f.from_centered(x), l));
+  }
+}
+
+class CodecBoundaryGroup : public ::testing::TestWithParam<group::GroupId> {};
+
+TEST_P(CodecBoundaryGroup, IdentityElementRoundTrip) {
+  // The comparison circuit builds trivial encryptions of zero from the
+  // identity; both backends must round-trip it at the fixed element width.
+  const auto g = group::make_group(GetParam());
+  Writer w;
+  crypto::write_elem(w, *g, g->identity());
+  EXPECT_EQ(w.size(), crypto::elem_wire_bytes(*g));
+  Reader r{w.data()};
+  EXPECT_TRUE(g->eq(crypto::read_elem(r, *g), g->identity()));
+  r.finish();
+
+  const crypto::Ciphertext zero_ct{.c = g->identity(), .cp = g->identity()};
+  Writer w2;
+  crypto::write_ciphertext(w2, *g, zero_ct);
+  EXPECT_EQ(w2.size(), crypto::ciphertext_wire_bytes(*g));
+  Reader r2{w2.data()};
+  const auto back = crypto::read_ciphertext(r2, *g);
+  r2.finish();
+  EXPECT_TRUE(g->eq(back.c, zero_ct.c));
+  EXPECT_TRUE(g->eq(back.cp, zero_ct.cp));
+}
+
+TEST_P(CodecBoundaryGroup, ScalarBoundaries) {
+  const auto g = group::make_group(GetParam());
+  const std::size_t sb = crypto::scalar_wire_bytes(*g);
+  for (const Nat& s : {Nat{}, Nat{1}, Nat::sub(g->order(), Nat{1})}) {
+    Writer w;
+    crypto::write_scalar(w, *g, s);
+    EXPECT_EQ(w.size(), sb);
+    Reader r{w.data()};
+    EXPECT_EQ(crypto::read_scalar(r, *g), s);
+    r.finish();
+  }
+  // The order itself is out of range.
+  Writer w;
+  crypto::write_scalar(w, *g, g->order());
+  Reader r{w.data()};
+  EXPECT_THROW((void)crypto::read_scalar(r, *g), WireError);
+}
+
+TEST_P(CodecBoundaryGroup, CiphertextSeqFixedWidth) {
+  // The unprefixed sequence framing carries the bulk phase-2 traffic; its
+  // size must be exactly count * ciphertext_wire_bytes and a short buffer
+  // must be rejected, not mis-framed.
+  const auto g = group::make_group(GetParam());
+  ChaChaRng rng{321};
+  const auto kp = crypto::keygen(*g, rng);
+  std::vector<crypto::Ciphertext> cts;
+  for (int i = 0; i < 4; ++i)
+    cts.push_back(
+        crypto::encrypt_exp(*g, kp.y, Nat{static_cast<mpz::Limb>(i)}, rng));
+  Writer w;
+  crypto::write_ciphertext_seq(w, *g, cts);
+  EXPECT_EQ(w.size(), cts.size() * crypto::ciphertext_wire_bytes(*g));
+  Reader r{w.data()};
+  const auto back = crypto::read_ciphertext_seq(r, *g, cts.size());
+  r.finish();
+  for (std::size_t i = 0; i < cts.size(); ++i)
+    EXPECT_TRUE(g->eq(back[i].c, cts[i].c));
+  Reader r2{w.data()};
+  EXPECT_THROW((void)crypto::read_ciphertext_seq(r2, *g, cts.size() + 2),
+               WireError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, CodecBoundaryGroup,
+                         ::testing::Values(group::GroupId::kDlTest256,
+                                           group::GroupId::kEcP192),
+                         [](const auto& info) {
+                           std::string n = group::to_string(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(CodecBoundary, MaxWidthNatRoundTrip) {
+  // The length-prefixed nat codec must survive ciphertext-sized integers
+  // (a Paillier ciphertext modulo N^2 is ~2·|N| — take 4096 bits, every
+  // byte 0xFF) as well as the minimal-encoding edge next to it.
+  std::vector<std::uint8_t> big(512, 0xFF);
+  const Nat huge = Nat::from_bytes_be(big);
+  Writer w;
+  w.nat(huge);
+  Reader r{w.data()};
+  EXPECT_EQ(r.nat(), huge);
+  r.finish();
+
+  // One leading zero byte on the same value must be rejected (canonical
+  // minimal encoding).
+  Writer w2;
+  std::vector<std::uint8_t> padded(513, 0xFF);
+  padded[0] = 0x00;
+  w2.bytes(padded);
+  Reader r2{w2.data()};
+  EXPECT_THROW((void)r2.nat(), WireError);
 }
 
 }  // namespace
