@@ -1,0 +1,289 @@
+// ppgr_server — serve a batch of ranking requests through the multi-session
+// engine (src/engine/): FIFO admission, a shared thread pool and the shared
+// crypto precompute cache, with a deterministic rolled-up JSON export.
+//
+// Usage:
+//   ppgr_server <request-file> [--seed N] [--max-in-flight N]
+//               [--parallelism N] [--rollup-out FILE]
+//   ppgr_server --demo [...]
+//
+// Request format (one directive per line, '#' comments; `session` opens a
+// new request and the other directives fill the current one):
+//
+//   session <id>
+//   framework <he|ss>               # default he
+//   group <dl-1024|...|dl-test-256> # default dl-test-256
+//   spec <m> <t> <d1> <d2> <h>
+//   k <top-k>
+//   threshold <t>                   # ss only: collusion threshold
+//   criterion <v1> ... <vm>
+//   weights   <w1> ... <wm>
+//   participant <v1> ... <vm>       # one line per participant
+//
+// Example (two sessions sharing the engine):
+//   session 1
+//   spec 4 2 8 4 8
+//   k 2
+//   criterion 35 120 0 0
+//   weights 10 5 2 1
+//   participant 34 118 90 55
+//   participant 52 160 20 90
+//   participant 35 121 40 40
+//   session 2
+//   spec 4 2 8 4 8
+//   k 1
+//   criterion 0 0 0 0
+//   weights 1 1 1 1
+//   participant 10 20 30 40
+//   participant 40 30 20 10
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace {
+
+using namespace ppgr;
+
+group::GroupId parse_group(const std::string& name) {
+  static const std::map<std::string, group::GroupId> kNames = {
+      {"dl-1024", group::GroupId::kDl1024},
+      {"dl-2048", group::GroupId::kDl2048},
+      {"dl-3072", group::GroupId::kDl3072},
+      {"ecc-p192", group::GroupId::kEcP192},
+      {"ecc-p224", group::GroupId::kEcP224},
+      {"ecc-p256", group::GroupId::kEcP256},
+      {"dl-test-256", group::GroupId::kDlTest256},
+  };
+  const auto it = kNames.find(name);
+  if (it == kNames.end())
+    throw std::invalid_argument("unknown group '" + name + "'");
+  return it->second;
+}
+
+core::AttrVec parse_values(std::istringstream& line) {
+  core::AttrVec values;
+  std::uint64_t v;
+  while (line >> v) values.push_back(v);
+  if (!line.eof()) throw std::invalid_argument("non-numeric attribute value");
+  return values;
+}
+
+std::vector<engine::RankingRequest> parse_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::vector<engine::RankingRequest> reqs;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) raw.resize(comment);
+    std::istringstream line{raw};
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank line
+    try {
+      if (directive == "session") {
+        engine::RankingRequest req;
+        if (!(line >> req.session_id))
+          throw std::invalid_argument("session needs an id");
+        reqs.push_back(std::move(req));
+        continue;
+      }
+      if (reqs.empty())
+        throw std::invalid_argument("'" + directive +
+                                    "' before the first 'session' line");
+      engine::RankingRequest& req = reqs.back();
+      if (directive == "framework") {
+        std::string name;
+        line >> name;
+        if (name == "he") req.framework = engine::FrameworkKind::kHe;
+        else if (name == "ss") req.framework = engine::FrameworkKind::kSs;
+        else throw std::invalid_argument("framework must be 'he' or 'ss'");
+      } else if (directive == "group") {
+        std::string name;
+        line >> name;
+        req.group = parse_group(name);
+      } else if (directive == "spec") {
+        if (!(line >> req.spec.m >> req.spec.t >> req.spec.d1 >> req.spec.d2 >>
+              req.spec.h))
+          throw std::invalid_argument("spec needs: m t d1 d2 h");
+      } else if (directive == "k") {
+        if (!(line >> req.k)) throw std::invalid_argument("k needs a number");
+      } else if (directive == "threshold") {
+        if (!(line >> req.ss_threshold))
+          throw std::invalid_argument("threshold needs a number");
+      } else if (directive == "criterion") {
+        req.v0 = parse_values(line);
+      } else if (directive == "weights") {
+        req.w = parse_values(line);
+      } else if (directive == "participant") {
+        req.infos.push_back(parse_values(line));
+      } else {
+        throw std::invalid_argument("unknown directive '" + directive + "'");
+      }
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+  }
+  if (reqs.empty()) throw std::runtime_error(path + ": no 'session' lines");
+  return reqs;
+}
+
+// A built-in batch (3 HE + 1 SS session) so the engine can be exercised
+// without writing a request file: ppgr_server --demo
+std::vector<engine::RankingRequest> demo_batch() {
+  std::vector<engine::RankingRequest> reqs;
+  for (std::uint64_t sid = 1; sid <= 4; ++sid) {
+    engine::RankingRequest req;
+    req.session_id = sid;
+    req.spec = core::ProblemSpec{.m = 4, .t = 2, .d1 = 8, .d2 = 6, .h = 8};
+    req.k = 2;
+    if (sid == 4) req.framework = engine::FrameworkKind::kSs;
+    mpz::ChaChaRng rng{1000 + sid};
+    const std::size_t n = sid == 4 ? 5 : 4;
+    req.v0.resize(req.spec.m);
+    req.w.resize(req.spec.m);
+    for (auto& x : req.v0) x = rng.below_u64(std::uint64_t{1} << req.spec.d1);
+    for (auto& x : req.w) x = rng.below_u64(std::uint64_t{1} << req.spec.d2);
+    for (std::size_t j = 0; j < n; ++j) {
+      core::AttrVec v(req.spec.m);
+      for (auto& x : v) x = rng.below_u64(std::uint64_t{1} << req.spec.d1);
+      req.infos.push_back(std::move(v));
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+void print_usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s <request-file> [--seed N] [--max-in-flight N]\n"
+      "       [--parallelism N] [--rollup-out FILE]\n"
+      "       %s --demo [same options]\n"
+      "\n"
+      "  --seed N          engine seed; every session's randomness derives\n"
+      "                    from (seed, session id), so a fixed request file\n"
+      "                    gives bit-identical results at any setting below\n"
+      "  --max-in-flight N admission cap / driver threads (default 4)\n"
+      "  --parallelism N   shared thread-pool concurrency; 0 = all hardware\n"
+      "                    threads (default 1)\n"
+      "  --rollup-out FILE write the deterministic rolled-up JSON export\n"
+      "                    (schema ppgr.engine.v1)\n"
+      "  --demo            run a built-in 4-session batch instead of a file\n"
+      "  --help            show this message\n",
+      prog, prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  bool demo = false;
+  engine::EngineConfig cfg;
+  cfg.seed = 1;
+  std::string rollup_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg{argv[i]};
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(arg + " needs an argument");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        print_usage(argv[0], stdout);
+        return 0;
+      } else if (arg == "--demo") {
+        demo = true;
+      } else if (arg == "--seed") {
+        cfg.seed = std::stoull(value());
+      } else if (arg == "--max-in-flight") {
+        cfg.max_in_flight = std::stoul(value());
+      } else if (arg == "--parallelism") {
+        cfg.parallelism = std::stoul(value());
+      } else if (arg == "--rollup-out") {
+        rollup_path = value();
+      } else if (input_path.empty() && arg[0] != '-') {
+        input_path = arg;
+      } else {
+        throw std::invalid_argument("unknown option '" + arg + "'");
+      }
+    }
+    if (demo == !input_path.empty())
+      throw std::invalid_argument("need a request file or --demo (not both)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(argv[0], stderr);
+    return 2;
+  }
+
+  try {
+    std::vector<engine::RankingRequest> reqs =
+        demo ? demo_batch() : parse_file(input_path);
+    engine::SessionEngine eng{cfg};
+
+    std::printf("ppgr_server: %zu session(s), max_in_flight=%zu, "
+                "parallelism=%zu, seed=%llu\n\n",
+                reqs.size(), cfg.max_in_flight, cfg.parallelism,
+                static_cast<unsigned long long>(cfg.seed));
+    // Submit everything up front (open loop), then collect in order;
+    // invalid requests are reported and skipped, valid ones still run.
+    std::vector<std::uint64_t> ids;
+    for (auto& req : reqs) {
+      const std::uint64_t sid = req.session_id;
+      try {
+        ids.push_back(eng.submit(std::move(req)));
+      } catch (const engine::EngineError& e) {
+        std::fprintf(stderr, "session %llu rejected (%s): %s\n",
+                     static_cast<unsigned long long>(sid),
+                     engine::to_string(e.code()), e.what());
+      }
+    }
+    for (const std::uint64_t sid : ids) {
+      const engine::SessionResult res = eng.take(sid);
+      std::printf("session %llu (%s): n=%zu", (unsigned long long)sid,
+                  engine::to_string(res.framework), res.ranks().size());
+      std::printf(", ranks [");
+      for (std::size_t j = 0; j < res.ranks().size(); ++j)
+        std::printf("%s%zu", j == 0 ? "" : " ", res.ranks()[j]);
+      std::printf("], submitted [");
+      const auto& sub = res.submitted_ids();
+      for (std::size_t j = 0; j < sub.size(); ++j)
+        std::printf("%s%zu", j == 0 ? "" : " ", sub[j]);
+      std::printf("], %.3fs\n", res.wall_seconds);
+    }
+    const engine::PrecomputeStats stats = eng.precompute_stats();
+    std::printf("\nprecompute cache: %llu hits, %llu misses "
+                "(tables: gen %llu/%llu, key %llu/%llu; pools %llu/%llu)\n",
+                (unsigned long long)stats.total().hits,
+                (unsigned long long)stats.total().misses,
+                (unsigned long long)stats.generator_table.hits,
+                (unsigned long long)stats.generator_table.misses,
+                (unsigned long long)stats.key_table.hits,
+                (unsigned long long)stats.key_table.misses,
+                (unsigned long long)stats.zero_pool.hits,
+                (unsigned long long)stats.zero_pool.misses);
+
+    if (!rollup_path.empty()) {
+      std::ofstream out{rollup_path};
+      if (!out)
+        throw std::runtime_error("cannot open '" + rollup_path +
+                                 "' for writing");
+      out << eng.rollup_json();
+      if (!out)
+        throw std::runtime_error("failed writing '" + rollup_path + "'");
+      std::printf("rollup JSON written to %s\n", rollup_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,29 +1,34 @@
 #!/usr/bin/env python3
-"""Noise-aware comparison of two benchmark/metrics JSON reports.
+"""Noise-aware comparison of benchmark/metrics JSON reports.
 
 Used by the `bench-regress` CI leg (scripts/ci.sh) to gate performance
-regressions against a checked-in baseline:
+regressions against checked-in baselines:
 
-  bench_compare.py BASELINE CURRENT [--wall-tolerance 0.20]
+  bench_compare.py BASELINE CURRENT [BASELINE2 CURRENT2 ...] \\
+      [--wall-tolerance 0.20]
 
-The two files must have the same JSON shape (same bench, same
-configuration). Leaves are classified by key:
+Each (baseline, current) pair must have the same JSON shape (same bench,
+same configuration); any number of pairs is gated in one invocation — one
+shared code path classifies and compares the leaves of every report kind.
+Leaves are classified by key:
 
   - *noisy* leaves — wall-clock and anything derived from it (keys matching
-    "wall", "speedup", "total_seconds", latency-histogram bins, or host
-    facts like "hardware_concurrency") — vary run to run; a relative drift
-    beyond the tolerance prints a WARN but never fails the gate. Simulated
-    *virtual* network seconds are NOT noisy: they are a deterministic
-    function of the run and compare exactly;
-  - every other numeric leaf (operation counts, message counts, byte
-    totals, rounds, parameters) is deterministic by construction, so any
-    drift at all is a FAIL: the protocol, the codecs or the instrumentation
-    changed and the baseline must be regenerated deliberately.
+    "wall", "speedup", "latency", "throughput", "total_seconds",
+    latency-histogram bins, or host facts like "hardware_concurrency") —
+    vary run to run; a relative drift beyond the tolerance prints a WARN
+    but never fails the gate. Simulated *virtual* network seconds are NOT
+    noisy: they are a deterministic function of the run and compare
+    exactly;
+  - every other numeric leaf (operation counts, cache hit/miss counts,
+    message counts, byte totals, rounds, parameters) is deterministic by
+    construction, so any drift at all is a FAIL: the protocol, the codecs
+    or the instrumentation changed and the baseline must be regenerated
+    deliberately.
 
 Exit status: 0 = clean or warnings only, 1 = deterministic drift or shape
 mismatch, 2 = usage/IO error. Works on BENCH_parallel.json,
-ppgr.metrics.v1 and ppgr.comm.v1 documents alike (the classification is by
-key, not schema).
+BENCH_engine.json, ppgr.metrics.v1 and ppgr.comm.v1 documents alike (the
+classification is by key, not schema).
 """
 
 import argparse
@@ -33,6 +38,8 @@ import sys
 NOISY_KEY_PARTS = (
     "wall",
     "speedup",
+    "latency",  # per-session latency percentiles in BENCH_engine.json
+    "throughput",  # sessions/sec in BENCH_engine.json
     "total_seconds",  # wall-clock op-latency totals in ppgr.metrics.v1
     "hardware_concurrency",
     "ge_ns",  # latency histogram bin floors
@@ -46,6 +53,16 @@ def is_noisy(path):
         return True
     leaf = path.rsplit(".", 1)[-1]
     return any(part in leaf for part in NOISY_KEY_PARTS)
+
+
+def load_json(name):
+    """Loads a JSON document, exiting with status 2 on IO/parse errors."""
+    try:
+        with open(name, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {name}: {e}", file=sys.stderr)
+        sys.exit(2)
 
 
 class Comparison:
@@ -111,12 +128,35 @@ class Comparison:
                 self.fail(f"{path}: {base} -> {cur} (delta {delta:+})")
 
 
+def compare_pair(baseline, current, wall_tolerance):
+    """Compares one (baseline, current) report pair; returns the
+    Comparison with its findings (messages prefixed with the pair name)."""
+    cmp = Comparison(wall_tolerance)
+    cmp.compare("", load_json(baseline), load_json(current))
+    for msg in cmp.warnings:
+        print(f"WARN  [{baseline}] {msg}")
+    for msg in cmp.failures:
+        print(f"FAIL  [{baseline}] {msg}")
+    print(
+        f"bench_compare: {baseline} vs {current}: "
+        f"{cmp.exact_checked} deterministic leaves checked exactly, "
+        f"{cmp.noisy_checked} noisy leaves within "
+        f"{wall_tolerance * 100:.0f}% tolerance, "
+        f"{len(cmp.warnings)} warning(s), {len(cmp.failures)} failure(s)"
+    )
+    return cmp
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Compare a benchmark JSON report against its baseline."
+        description="Compare benchmark JSON report(s) against baseline(s)."
     )
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument(
+        "reports",
+        nargs="+",
+        metavar="BASELINE CURRENT",
+        help="one or more (baseline, current) file pairs",
+    )
     parser.add_argument(
         "--wall-tolerance",
         type=float,
@@ -126,30 +166,21 @@ def main():
         "warning is printed (default 0.20 = 20%%)",
     )
     args = parser.parse_args()
+    if len(args.reports) < 2 or len(args.reports) % 2 != 0:
+        print(
+            "error: reports must come in (baseline, current) pairs",
+            file=sys.stderr,
+        )
+        return 2
 
-    docs = []
-    for name in (args.baseline, args.current):
-        try:
-            with open(name, "r", encoding="utf-8") as f:
-                docs.append(json.load(f))
-        except (OSError, json.JSONDecodeError) as e:
-            print(f"error: cannot read {name}: {e}", file=sys.stderr)
-            return 2
+    failures = 0
+    for i in range(0, len(args.reports), 2):
+        cmp = compare_pair(
+            args.reports[i], args.reports[i + 1], args.wall_tolerance
+        )
+        failures += len(cmp.failures)
 
-    cmp = Comparison(args.wall_tolerance)
-    cmp.compare("", docs[0], docs[1])
-
-    for msg in cmp.warnings:
-        print(f"WARN  {msg}")
-    for msg in cmp.failures:
-        print(f"FAIL  {msg}")
-    print(
-        f"bench_compare: {cmp.exact_checked} deterministic leaves checked "
-        f"exactly, {cmp.noisy_checked} noisy leaves within "
-        f"{cmp.wall_tolerance * 100:.0f}% tolerance, "
-        f"{len(cmp.warnings)} warning(s), {len(cmp.failures)} failure(s)"
-    )
-    if cmp.failures:
+    if failures:
         print(
             "bench_compare: deterministic drift — if deliberate, regenerate "
             "the baseline (see scripts/ci.sh bench-regress)",

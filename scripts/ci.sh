@@ -12,16 +12,24 @@
 # the closed-form comm model. The full asan/plain legs also include these
 # tests via ctest.
 #
-# The `bench-regress` mode is the perf-regression gate: it reruns the
-# parallel_speedup bench with the checked-in BENCH_parallel.json's exact
-# configuration and compares the fresh report against that baseline with
-# scripts/bench_compare.py — operation counts, message counts and byte
-# totals must match exactly (deterministic; any drift fails), wall-clock
-# drift beyond 20% only warns (1-core CI boxes are noisy). After a
-# deliberate protocol/codec change, regenerate the baseline:
-#   ./build/bench/parallel_speedup --out BENCH_parallel.json
+# The `engine` mode is the session-engine concurrency leg: it runs the
+# engine tests (admission cap, shared precompute cache, determinism under
+# load, the multi-session stress test) under TSan — many driver threads
+# race through one shared thread pool, cache and metrics registry, which is
+# exactly the surface TSan exists for.
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|metrics|bench-regress|all]
+# The `bench-regress` mode is the perf-regression gate: it reruns the
+# parallel_speedup and engine_throughput benches with the checked-in
+# baselines' exact configurations and compares both fresh reports against
+# BENCH_parallel.json / BENCH_engine.json in one scripts/bench_compare.py
+# invocation — operation counts, cache hit/miss counts, message counts and
+# byte totals must match exactly (deterministic; any drift fails),
+# wall-clock/throughput/latency drift beyond 20% only warns (1-core CI
+# boxes are noisy). After a deliberate protocol/codec change, regenerate:
+#   ./build/bench/parallel_speedup --out BENCH_parallel.json
+#   ./build/bench/engine_throughput --out BENCH_engine.json
+#
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,12 +47,17 @@ run_leg() {
 }
 
 bench_regress() {
-  echo "==== [bench-regress] parallel_speedup vs checked-in baseline ===="
+  echo "==== [bench-regress] benches vs checked-in baselines ===="
   cmake --preset default
-  cmake --build --preset default -j "${JOBS}" --target parallel_speedup
-  local fresh="build/bench_regress_current.json"
-  ./build/bench/parallel_speedup --out "${fresh}"
-  python3 scripts/bench_compare.py BENCH_parallel.json "${fresh}"
+  cmake --build --preset default -j "${JOBS}" \
+      --target parallel_speedup engine_throughput
+  local fresh_parallel="build/bench_regress_current.json"
+  local fresh_engine="build/bench_regress_engine_current.json"
+  ./build/bench/parallel_speedup --out "${fresh_parallel}"
+  ./build/bench/engine_throughput --out "${fresh_engine}"
+  python3 scripts/bench_compare.py \
+      BENCH_parallel.json "${fresh_parallel}" \
+      BENCH_engine.json "${fresh_engine}"
 }
 
 case "${MODE}" in
@@ -54,16 +67,18 @@ case "${MODE}" in
   # tests are the ones TSan exists for, so the tsan leg runs those. Pass
   # extra ctest args (e.g. -R '.') to widen.
   tsan) run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property' ;;
+  engine) run_leg tsan -R 'engine' ;;
   metrics) run_leg asan -R 'runtime_metrics|metrics_export|model_validation|comm_validation|net_test' ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
     run_leg asan
     run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
+    run_leg tsan -R 'engine'
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|metrics|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|bench-regress|all]" >&2
     exit 2
     ;;
 esac

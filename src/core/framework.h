@@ -33,12 +33,17 @@
 #include "crypto/elgamal.h"
 #include "crypto/schnorr_proof.h"
 #include "dotprod/dot_product.h"
+#include "group/fixed_base.h"
 #include "group/group.h"
 #include "mpz/rng.h"
 #include "runtime/comm.h"
 #include "runtime/metrics.h"
 #include "runtime/span.h"
 #include "runtime/trace.h"
+
+namespace ppgr::runtime {
+class ThreadPool;  // runtime/thread_pool.h
+}
 
 namespace ppgr::core {
 
@@ -50,6 +55,39 @@ using mpz::Rng;
 /// A participant's flattened comparison set travelling the shuffle chain
 /// ((n-1)·l ciphertexts; the paper's script-E_j).
 using CipherSet = std::vector<Ciphertext>;
+
+/// Joint-key-dependent precompute a PrecomputeSource hands a run: a
+/// fixed-base table for the joint ElGamal key and a zero-encryption pool
+/// sized for the run's n·(n-1)·l comparison re-randomizations. Either field
+/// may be null (that component simply isn't accelerated).
+struct KeyPrecompute {
+  std::shared_ptr<const group::FixedBaseTable> key_table;
+  std::shared_ptr<const crypto::ZeroPool> zero_pool;
+};
+
+/// Supplier of shared crypto precompute for run_framework (implemented by
+/// the session engine's PrecomputeCache; see src/engine/precompute.h).
+///
+/// Contract: the returned artifacts must be pure functions of their inputs
+/// — generator_table of the group, key_material of (group, joint key,
+/// pool_size) plus whatever pool key the source fixes per session — so a
+/// run's outputs never depend on whether an artifact was freshly built or
+/// reused. run_framework mutes the metrics funnel around both calls for the
+/// same reason: build cost must not leak into the session's counters.
+class PrecomputeSource {
+ public:
+  virtual ~PrecomputeSource() = default;
+  /// Called once at run start with the undecorated FrameworkConfig::group.
+  /// May return null (no generator acceleration).
+  [[nodiscard]] virtual std::shared_ptr<const group::FixedBaseTable>
+  generator_table(const group::Group& base) = 0;
+  /// Called once per run, right after the joint public key is assembled.
+  /// `pool_size` is the exact number of zero encryptions the comparison
+  /// step will consume (n·(n-1)·l).
+  [[nodiscard]] virtual KeyPrecompute key_material(const group::Group& base,
+                                                   const group::Elem& joint_key,
+                                                   std::size_t pool_size) = 0;
+};
 
 /// Configuration shared by all parties.
 struct FrameworkConfig {
@@ -71,6 +109,18 @@ struct FrameworkConfig {
   /// FrameworkResult::metrics / ::spans. Counter totals and span streams are
   /// bit-identical for every `parallelism` value; wall-clock fields are not.
   bool metrics = false;
+  /// Execute on an external long-lived pool instead of constructing a
+  /// per-run one (the session engine shares one pool across all in-flight
+  /// sessions; runtime::ThreadPool supports concurrent parallel_for calls).
+  /// Null (the default) preserves the original behavior: a private pool of
+  /// `parallelism` threads per run. When set, `parallelism` is ignored.
+  runtime::ThreadPool* shared_pool = nullptr;
+  /// Shared crypto precompute (generator/joint-key comb tables, a zero
+  /// -encryption pool for the comparison step). Null (the default) runs the
+  /// original non-precomputed path. Protocol *outputs* are identical either
+  /// way; with a source attached, per-op group counts shift from
+  /// exponentiations to multiplications (see DESIGN.md §6).
+  PrecomputeSource* precompute = nullptr;
 
   void validate() const;
 };
@@ -162,7 +212,18 @@ class Participant {
     return compare_against(peer_bits, rng_);
   }
   [[nodiscard]] std::vector<Ciphertext> compare_against(
-      const std::vector<Ciphertext>& peer_bits, Rng& rng) const;
+      const std::vector<Ciphertext>& peer_bits, Rng& rng) const {
+    return compare_against(peer_bits, rng, nullptr, 0);
+  }
+  /// Pool-fed form: when `pool` is non-null, the final re-randomization of
+  /// τ_b consumes pool->entries[pool_offset + b] instead of drawing from
+  /// `rng` — two multiplications instead of two exponentiations. The caller
+  /// assigns each evaluation a disjoint l-entry slice (the engine uses
+  /// pool_offset = task_index · l), so every entry is used at most once per
+  /// run and the slice is a pure function of the task's protocol position.
+  [[nodiscard]] std::vector<Ciphertext> compare_against(
+      const std::vector<Ciphertext>& peer_bits, Rng& rng,
+      const crypto::ZeroPool* pool, std::size_t pool_offset) const;
   /// Step 8: one chain hop over a peer's set — partial decryption with this
   /// party's key share, per-ciphertext exponent randomization, and a uniform
   /// permutation of the set.

@@ -1,0 +1,400 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace ppgr::engine {
+
+namespace {
+
+using runtime::CryptoOp;
+using runtime::Phase;
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_index_list(std::string& out, const std::vector<std::size_t>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i)
+    appendf(out, "%s%zu", i == 0 ? "" : ", ", v[i]);
+  out.push_back(']');
+}
+
+// Nonzero ops only, like MetricsRegistry::to_json — adding CryptoOp values
+// later cannot disturb existing goldens.
+void append_ops(std::string& out, const runtime::OpTally& t) {
+  out.push_back('{');
+  bool first = true;
+  for (std::size_t i = 0; i < runtime::kOpCount; ++i) {
+    if (t.v[i] == 0) continue;
+    appendf(out, "%s\"%s\": %llu", first ? "" : ", ",
+            runtime::op_name(static_cast<CryptoOp>(i)),
+            static_cast<unsigned long long>(t.v[i]));
+    first = false;
+  }
+  out.push_back('}');
+}
+
+void append_counters(std::string& out, const CacheCounters& c) {
+  appendf(out, "{\"hits\": %llu, \"misses\": %llu}",
+          static_cast<unsigned long long>(c.hits),
+          static_cast<unsigned long long>(c.misses));
+}
+
+// Per-session PrecomputeSource: forwards run_framework's two precompute
+// requests to the (shared or private) cache, accounting this session's
+// hits/misses and the wall time spent fetching/building.
+class SessionSource final : public core::PrecomputeSource {
+ public:
+  SessionSource(PrecomputeCache& cache,
+                const std::array<std::uint8_t, 32>& pool_key)
+      : cache_(cache), pool_key_(pool_key) {}
+
+  [[nodiscard]] std::shared_ptr<const group::FixedBaseTable> generator_table(
+      const group::Group& base) override {
+    const double t0 = runtime::metrics_now_seconds();
+    auto r = cache_.generator_table(base);
+    note(stats_.generator_table, r.built);
+    gen_table_ = r.table;
+    setup_seconds_ += runtime::metrics_now_seconds() - t0;
+    return r.table;
+  }
+
+  [[nodiscard]] core::KeyPrecompute key_material(
+      const group::Group& base, const group::Elem& joint_key,
+      std::size_t pool_size) override {
+    const double t0 = runtime::metrics_now_seconds();
+    auto kt = cache_.key_table(base, joint_key);
+    note(stats_.key_table, kt.built);
+    auto zp = cache_.zero_pool(base, joint_key, gen_table_, kt.table,
+                               pool_key_, pool_size);
+    note(stats_.zero_pool, zp.built);
+    setup_seconds_ += runtime::metrics_now_seconds() - t0;
+    return core::KeyPrecompute{std::move(kt.table), std::move(zp.pool)};
+  }
+
+  [[nodiscard]] const PrecomputeStats& stats() const { return stats_; }
+  [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
+
+ private:
+  static void note(CacheCounters& c, bool built) {
+    if (built)
+      ++c.misses;
+    else
+      ++c.hits;
+  }
+
+  PrecomputeCache& cache_;
+  std::array<std::uint8_t, 32> pool_key_;
+  std::shared_ptr<const group::FixedBaseTable> gen_table_;
+  PrecomputeStats stats_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(FrameworkKind kind) {
+  return kind == FrameworkKind::kHe ? "he" : "ss";
+}
+
+const char* to_string(EngineErrorCode code) {
+  switch (code) {
+    case EngineErrorCode::kInvalidSpec: return "invalid_spec";
+    case EngineErrorCode::kInvalidTopology: return "invalid_topology";
+    case EngineErrorCode::kInvalidInput: return "invalid_input";
+    case EngineErrorCode::kInvalidThreshold: return "invalid_threshold";
+    case EngineErrorCode::kDuplicateSession: return "duplicate_session";
+    case EngineErrorCode::kUnknownSession: return "unknown_session";
+  }
+  return "?";
+}
+
+SessionEngine::SessionEngine(EngineConfig cfg)
+    : cfg_(cfg),
+      cache_(cfg_.share_precompute
+                 ? (cfg_.cache != nullptr ? cfg_.cache
+                                          : &process_precompute_cache())
+                 : nullptr),
+      root_(cfg_.seed),
+      session_family_(root_),
+      pool_key_family_(root_),
+      pool_(cfg_.parallelism) {
+  if (cfg_.max_in_flight < 1)
+    throw std::invalid_argument("SessionEngine: max_in_flight must be >= 1");
+  drivers_.reserve(cfg_.max_in_flight);
+  for (std::size_t i = 0; i < cfg_.max_in_flight; ++i)
+    drivers_.emplace_back([this] { driver_loop(); });
+}
+
+SessionEngine::~SessionEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : drivers_) t.join();
+}
+
+void SessionEngine::validate(const RankingRequest& req) const {
+  try {
+    req.spec.validate();
+  } catch (const std::exception& e) {
+    throw EngineError(EngineErrorCode::kInvalidSpec, e.what());
+  }
+  const std::size_t n = req.infos.size();
+  if (n < 2)
+    throw EngineError(EngineErrorCode::kInvalidTopology,
+                      "session " + std::to_string(req.session_id) +
+                          ": need n >= 2 participants, got " +
+                          std::to_string(n));
+  if (req.k < 1 || req.k > n)
+    throw EngineError(EngineErrorCode::kInvalidTopology,
+                      "session " + std::to_string(req.session_id) + ": k=" +
+                          std::to_string(req.k) + " outside [1, n=" +
+                          std::to_string(n) + "]");
+  try {
+    req.spec.check_attributes(req.v0);
+    req.spec.check_weights(req.w);
+    for (const auto& v : req.infos) req.spec.check_attributes(v);
+  } catch (const std::exception& e) {
+    throw EngineError(EngineErrorCode::kInvalidInput, e.what());
+  }
+  if (req.spec.beta_bits() + 2 > core::default_dot_field().bits())
+    throw EngineError(EngineErrorCode::kInvalidSpec,
+                      "spec beta range exceeds the phase-1 dot-product field");
+  if (req.framework == FrameworkKind::kSs) {
+    const std::size_t t =
+        req.ss_threshold != 0 ? req.ss_threshold : (n >= 3 ? (n - 1) / 2 : 0);
+    if (t < 1 || n < 2 * t + 1)
+      throw EngineError(EngineErrorCode::kInvalidThreshold,
+                        "session " + std::to_string(req.session_id) +
+                            ": SS threshold t=" + std::to_string(t) +
+                            " needs n >= 2t+1 (n=" + std::to_string(n) + ")");
+  }
+}
+
+std::uint64_t SessionEngine::submit(RankingRequest req) {
+  validate(req);
+  const std::uint64_t sid = req.session_id;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_)
+      throw std::logic_error("SessionEngine: submit after shutdown");
+    if (!known_ids_.insert(sid).second)
+      throw EngineError(EngineErrorCode::kDuplicateSession,
+                        "duplicate session id " + std::to_string(sid));
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return sid;
+}
+
+void SessionEngine::driver_loop() {
+  for (;;) {
+    RankingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // queued-but-unstarted work is discarded
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      peak_ = std::max(peak_, active_);
+    }
+    SessionResult res;
+    std::exception_ptr err;
+    try {
+      res = execute(req);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (err != nullptr) {
+        failed_.emplace(req.session_id, err);
+      } else {
+        Summary s;
+        s.framework = res.framework;
+        s.group_name = group::to_string(req.group);
+        s.n = req.infos.size();
+        s.k = req.k;
+        s.beta_bits = req.spec.beta_bits();
+        s.ranks = res.ranks();
+        s.submitted_ids = res.submitted_ids();
+        s.trace_messages = res.trace().message_count();
+        s.trace_rounds = res.trace().rounds();
+        s.trace_bytes = res.trace().total_bytes();
+        if (const runtime::MetricsRegistry* m = res.metrics()) {
+          s.has_ops = true;
+          s.ops = m->totals();
+        }
+        summaries_.emplace(req.session_id, std::move(s));
+        totals_ += res.precompute;
+        const CacheCounters t = res.precompute.total();
+        if (t.hits != 0)
+          metrics_.add(Phase::kSetup, runtime::kOrchestratorParty,
+                       CryptoOp::kPrecomputeHit, t.hits);
+        if (t.misses != 0)
+          metrics_.add(Phase::kSetup, runtime::kOrchestratorParty,
+                       CryptoOp::kPrecomputeMiss, t.misses);
+        done_.emplace(req.session_id, std::move(res));
+      }
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+SessionResult SessionEngine::execute(const RankingRequest& req) {
+  const double t0 = runtime::metrics_now_seconds();
+  SessionResult out;
+  out.id = req.session_id;
+  out.framework = req.framework;
+
+  // The determinism anchor: everything this session draws comes from
+  // (engine seed, session id) — never from engine state that concurrent
+  // sessions could perturb.
+  mpz::ChaChaRng rng = session_family_.stream(req.session_id);
+
+  core::FrameworkConfig fcfg;
+  fcfg.spec = req.spec;
+  fcfg.n = req.infos.size();
+  fcfg.k = req.k;
+  fcfg.group = &group_instance(req.group);
+  fcfg.dot_field = &core::default_dot_field();
+  fcfg.metrics = cfg_.metrics;
+
+  if (req.framework == FrameworkKind::kHe) {
+    fcfg.shared_pool = &pool_;
+    std::array<std::uint8_t, 32> pool_key{};
+    {
+      mpz::ChaChaRng key_rng = pool_key_family_.stream(req.session_id);
+      key_rng.fill(pool_key);
+    }
+    // share_precompute off: a private throwaway cache — the session still
+    // builds the exact same artifacts (outputs cannot tell), it just never
+    // benefits from or contributes to sharing.
+    PrecomputeCache private_cache;
+    PrecomputeCache* cache = cache_ != nullptr ? cache_ : &private_cache;
+    SessionSource source{*cache, pool_key};
+    fcfg.precompute = &source;
+    out.he = core::run_framework(fcfg, req.v0, req.w, req.infos, rng);
+    out.setup_seconds = source.setup_seconds();
+    out.precompute = source.stats();
+  } else {
+    core::SsFrameworkConfig scfg;
+    scfg.base = fcfg;  // serial baseline: no shared pool, no precompute
+    scfg.threshold = req.ss_threshold != 0 ? req.ss_threshold
+                                           : (req.infos.size() - 1) / 2;
+    out.ss = core::run_ss_framework(scfg, req.v0, req.w, req.infos, rng);
+  }
+  out.wall_seconds = runtime::metrics_now_seconds() - t0;
+  return out;
+}
+
+const group::Group& SessionEngine::group_instance(group::GroupId id) {
+  const std::lock_guard<std::mutex> lock(group_mu_);
+  auto it = groups_.find(id);
+  if (it == groups_.end())
+    it = groups_.emplace(id, group::make_group(id)).first;
+  return *it->second;
+}
+
+SessionResult SessionEngine::take(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (known_ids_.find(session_id) == known_ids_.end())
+    throw EngineError(EngineErrorCode::kUnknownSession,
+                      "session " + std::to_string(session_id) +
+                          " was never submitted");
+  done_cv_.wait(lock, [&] {
+    return done_.find(session_id) != done_.end() ||
+           failed_.find(session_id) != failed_.end();
+  });
+  if (auto it = failed_.find(session_id); it != failed_.end()) {
+    std::exception_ptr err = it->second;
+    failed_.erase(it);
+    std::rethrow_exception(err);
+  }
+  auto node = done_.extract(session_id);
+  return std::move(node.mapped());
+}
+
+std::vector<SessionResult> SessionEngine::run_batch(
+    std::vector<RankingRequest> requests) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(requests.size());
+  for (auto& req : requests) ids.push_back(submit(std::move(req)));
+  std::vector<SessionResult> results;
+  results.reserve(ids.size());
+  for (const std::uint64_t sid : ids) results.push_back(take(sid));
+  return results;
+}
+
+void SessionEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t SessionEngine::peak_in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+PrecomputeStats SessionEngine::precompute_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+std::string SessionEngine::rollup_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += "{\n  \"schema\": \"ppgr.engine.v1\",\n";
+  appendf(out, "  \"engine_seed\": %llu,\n",
+          static_cast<unsigned long long>(cfg_.seed));
+  appendf(out, "  \"metrics\": %s,\n", cfg_.metrics ? "true" : "false");
+  appendf(out, "  \"share_precompute\": %s,\n",
+          cfg_.share_precompute ? "true" : "false");
+  appendf(out, "  \"sessions_completed\": %zu,\n", summaries_.size());
+  out += "  \"cache\": {\n    \"generator_tables\": ";
+  append_counters(out, totals_.generator_table);
+  out += ",\n    \"joint_key_tables\": ";
+  append_counters(out, totals_.key_table);
+  out += ",\n    \"zero_pools\": ";
+  append_counters(out, totals_.zero_pool);
+  out += "\n  },\n  \"sessions\": [";
+  bool first = true;
+  for (const auto& [sid, s] : summaries_) {
+    appendf(out, "%s\n    {\"id\": %llu, \"framework\": \"%s\", ",
+            first ? "" : ",", static_cast<unsigned long long>(sid),
+            to_string(s.framework));
+    appendf(out, "\"group\": \"%s\", \"n\": %zu, \"k\": %zu, ",
+            s.group_name.c_str(), s.n, s.k);
+    appendf(out, "\"beta_bits\": %zu,\n     \"ranks\": ", s.beta_bits);
+    append_index_list(out, s.ranks);
+    out += ", \"submitted_ids\": ";
+    append_index_list(out, s.submitted_ids);
+    appendf(out,
+            ",\n     \"trace\": {\"messages\": %zu, \"bytes\": %llu, "
+            "\"rounds\": %zu}",
+            s.trace_messages, static_cast<unsigned long long>(s.trace_bytes),
+            s.trace_rounds);
+    if (s.has_ops) {
+      out += ",\n     \"ops\": ";
+      append_ops(out, s.ops);
+    }
+    out += "}";
+    first = false;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace ppgr::engine

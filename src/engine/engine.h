@@ -1,0 +1,252 @@
+// Multi-session ranking engine.
+//
+// The ROADMAP north-star is a service, not a one-shot binary: many
+// independent ranking sessions in flight at once, amortizing crypto setup
+// across them. SessionEngine is that service core:
+//
+//   submit(RankingRequest) --> FIFO admission queue --> max_in_flight
+//   driver threads, each executing one session end-to-end over the ONE
+//   shared runtime::ThreadPool --> take(session_id) / run_batch()
+//
+// Determinism under load — the engine extends the repo's determinism
+// invariant from "any thread count" to "any concurrent load": a session's
+// randomness is derived from (engine seed, session id) via two
+// mpz::StreamFamily draws (protocol stream + zero-pool key), every shared
+// precompute artifact is a pure function of its cache key, and nothing a
+// session computes depends on what else is in flight. A given request
+// therefore produces bit-identical ranks, betas, traces and deterministic
+// metric exports regardless of max_in_flight, parallelism, or whether the
+// PrecomputeCache was cold, warm, shared or disabled.
+//
+// Cache hit/miss counters flow into the engine's runtime::MetricsRegistry
+// (kPrecomputeHit / kPrecomputeMiss) — never into a session's own registry,
+// which must not see history-dependent counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/ss_framework.h"
+#include "engine/precompute.h"
+#include "runtime/thread_pool.h"
+
+namespace ppgr::engine {
+
+/// Which framework serves the session: the paper's HE protocol or the
+/// secret-sharing baseline (Sec. VII).
+enum class FrameworkKind : std::uint8_t { kHe = 0, kSs = 1 };
+[[nodiscard]] const char* to_string(FrameworkKind kind);
+
+/// One self-contained ranking instance: spec + per-party inputs.
+struct RankingRequest {
+  std::uint64_t session_id = 0;  // caller-chosen, unique per engine
+  FrameworkKind framework = FrameworkKind::kHe;
+  group::GroupId group = group::GroupId::kDlTest256;
+  core::ProblemSpec spec;
+  std::size_t k = 1;                  // top-k
+  core::AttrVec v0;                   // initiator criterion
+  core::AttrVec w;                    // initiator weights
+  std::vector<core::AttrVec> infos;   // one per participant; n = size()
+  /// kSs only: collusion threshold t with n >= 2t+1; 0 = largest valid t.
+  std::size_t ss_threshold = 0;
+};
+
+/// Typed rejection reasons: invalid sessions must fail cleanly at submit(),
+/// never abort a driver thread.
+enum class EngineErrorCode : std::uint8_t {
+  kInvalidSpec,       // ProblemSpec::validate failed (e.g. t > m), or the
+                      // beta range exceeds the phase-1 dot-product field
+  kInvalidTopology,   // n < 2, or k outside [1, n]
+  kInvalidInput,      // attribute/weight vector of the wrong shape or range
+  kInvalidThreshold,  // kSs with t < 1 or n < 2t+1
+  kDuplicateSession,  // session id already submitted to this engine
+  kUnknownSession,    // take() of an id never submitted
+};
+[[nodiscard]] const char* to_string(EngineErrorCode code);
+
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(EngineErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] EngineErrorCode code() const { return code_; }
+
+ private:
+  EngineErrorCode code_;
+};
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Per-component cache interaction counts. Engine-wide totals are
+/// deterministic (misses == distinct cache keys); per-session attribution
+/// of a shared build is schedule-dependent and so never exported.
+struct PrecomputeStats {
+  CacheCounters generator_table;
+  CacheCounters key_table;
+  CacheCounters zero_pool;
+
+  [[nodiscard]] CacheCounters total() const {
+    return CacheCounters{
+        generator_table.hits + key_table.hits + zero_pool.hits,
+        generator_table.misses + key_table.misses + zero_pool.misses};
+  }
+  PrecomputeStats& operator+=(const PrecomputeStats& o) {
+    generator_table.hits += o.generator_table.hits;
+    generator_table.misses += o.generator_table.misses;
+    key_table.hits += o.key_table.hits;
+    key_table.misses += o.key_table.misses;
+    zero_pool.hits += o.zero_pool.hits;
+    zero_pool.misses += o.zero_pool.misses;
+    return *this;
+  }
+};
+
+struct SessionResult {
+  std::uint64_t id = 0;
+  FrameworkKind framework = FrameworkKind::kHe;
+  /// Exactly one of these is populated, per `framework`; both expose the
+  /// full observability payload (metrics/spans/comm/trace) of the run.
+  core::FrameworkResult he;
+  core::SsFrameworkResult ss;
+
+  [[nodiscard]] const std::vector<std::size_t>& ranks() const {
+    return framework == FrameworkKind::kHe ? he.ranks : ss.ranks;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& submitted_ids() const {
+    return framework == FrameworkKind::kHe ? he.submitted_ids
+                                           : ss.submitted_ids;
+  }
+  [[nodiscard]] const runtime::TraceRecorder& trace() const {
+    return framework == FrameworkKind::kHe ? he.trace : ss.trace;
+  }
+  [[nodiscard]] const runtime::MetricsRegistry* metrics() const {
+    return framework == FrameworkKind::kHe ? he.metrics.get()
+                                           : ss.metrics.get();
+  }
+
+  double wall_seconds = 0.0;   // execution start -> completion (noisy)
+  double setup_seconds = 0.0;  // time inside precompute fetch/build (noisy)
+  PrecomputeStats precompute;  // this session's cache interactions
+};
+
+struct EngineConfig {
+  std::uint64_t seed = 1;
+  /// Admission cap: at most this many sessions execute concurrently;
+  /// further submissions queue FIFO. Also the driver thread count.
+  std::size_t max_in_flight = 4;
+  /// Concurrency of the shared runtime::ThreadPool every session fans its
+  /// parallel protocol steps onto (0 = hardware concurrency, 1 = each
+  /// driver runs its session inline). Never affects outputs.
+  std::size_t parallelism = 1;
+  /// Per-session observability (FrameworkConfig::metrics).
+  bool metrics = true;
+  /// false: each HE session builds identical *private* precompute instead
+  /// of consulting the shared cache. Outputs are bit-identical either way —
+  /// this flag only moves where setup time is spent (the cache-on/off
+  /// bit-identity test and the cold/warm bench lean on this).
+  bool share_precompute = true;
+  /// Cache to share (when share_precompute); null = the process-wide one.
+  PrecomputeCache* cache = nullptr;
+};
+
+class SessionEngine {
+ public:
+  explicit SessionEngine(EngineConfig cfg);
+  /// Stops accepting work, discards queued-but-unstarted sessions and joins
+  /// the drivers (in-flight sessions finish first).
+  ~SessionEngine();
+  SessionEngine(const SessionEngine&) = delete;
+  SessionEngine& operator=(const SessionEngine&) = delete;
+
+  /// Validates and enqueues; returns the session id. Throws EngineError on
+  /// an invalid request or duplicate id — nothing is enqueued then.
+  std::uint64_t submit(RankingRequest req);
+  /// Blocks until the session completes, then removes and returns its
+  /// result. Throws EngineError(kUnknownSession) for never-submitted ids;
+  /// rethrows the session's exception if execution failed.
+  [[nodiscard]] SessionResult take(std::uint64_t session_id);
+  /// submit() all, then take() in request order.
+  [[nodiscard]] std::vector<SessionResult> run_batch(
+      std::vector<RankingRequest> requests);
+  /// Blocks until the queue is empty and nothing is executing.
+  void drain();
+
+  /// High-water mark of concurrently executing sessions (<= max_in_flight
+  /// by construction; the admission-cap test asserts exactly this).
+  [[nodiscard]] std::size_t peak_in_flight() const;
+  /// Engine-wide cache interaction totals (deterministic).
+  [[nodiscard]] PrecomputeStats precompute_stats() const;
+  /// Engine-level registry: kPrecomputeHit / kPrecomputeMiss.
+  [[nodiscard]] const runtime::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+  /// Rolled-up deterministic export ("ppgr.engine.v1"): per-session ranks,
+  /// submissions, trace totals and op counters keyed by session id, plus
+  /// the engine's cache counters. A pure function of the completed request
+  /// set and the engine seed — bit-identical at any parallelism or load
+  /// (the golden tests/golden/engine_small.json pins it).
+  [[nodiscard]] std::string rollup_json() const;
+
+ private:
+  struct Summary {
+    FrameworkKind framework = FrameworkKind::kHe;
+    std::string group_name;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    std::size_t beta_bits = 0;
+    std::vector<std::size_t> ranks;
+    std::vector<std::size_t> submitted_ids;
+    std::size_t trace_messages = 0;
+    std::size_t trace_rounds = 0;
+    std::uint64_t trace_bytes = 0;
+    bool has_ops = false;
+    runtime::OpTally ops;
+  };
+
+  void validate(const RankingRequest& req) const;
+  void driver_loop();
+  [[nodiscard]] SessionResult execute(const RankingRequest& req);
+  [[nodiscard]] const group::Group& group_instance(group::GroupId id);
+
+  EngineConfig cfg_;
+  PrecomputeCache* cache_;  // null when share_precompute is off
+  mpz::ChaChaRng root_;
+  mpz::StreamFamily session_family_;   // per-session protocol randomness
+  mpz::StreamFamily pool_key_family_;  // per-session zero-pool keys
+  runtime::ThreadPool pool_;
+  runtime::MetricsRegistry metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<RankingRequest> queue_;
+  std::set<std::uint64_t> known_ids_;
+  std::map<std::uint64_t, SessionResult> done_;
+  std::map<std::uint64_t, std::exception_ptr> failed_;
+  std::map<std::uint64_t, Summary> summaries_;
+  PrecomputeStats totals_;
+  std::size_t active_ = 0;
+  std::size_t peak_ = 0;
+  bool stop_ = false;
+
+  std::mutex group_mu_;
+  std::map<group::GroupId, std::unique_ptr<group::Group>> groups_;
+
+  std::vector<std::thread> drivers_;  // last member: joins before teardown
+};
+
+}  // namespace ppgr::engine

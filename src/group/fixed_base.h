@@ -26,6 +26,9 @@ class FixedBaseTable {
 
   [[nodiscard]] std::size_t windows() const { return table_.size(); }
 
+  /// The fixed base the table was built for.
+  [[nodiscard]] const Elem& base() const { return base_; }
+
  private:
   Elem base_;
   std::vector<std::array<Elem, 16>> table_;  // [window][nibble]

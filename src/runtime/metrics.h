@@ -98,8 +98,15 @@ enum class CryptoOp : std::uint8_t {
   // framework steps (core/framework.cpp)
   kCompareCircuit,  // one l-bit comparison-circuit evaluation (step 7)
   kShuffleHop,      // one party's hop over one foreign set (step 8)
+  // session-engine precompute cache (src/engine/precompute.h): lookups that
+  // were served from an artifact a prior session built vs. lookups that had
+  // to build the artifact themselves. Counted in the engine's own registry,
+  // never in a session's (a session's counters must not depend on what ran
+  // before it).
+  kPrecomputeHit,
+  kPrecomputeMiss,
 };
-inline constexpr std::size_t kOpCount = 23;
+inline constexpr std::size_t kOpCount = 25;
 [[nodiscard]] const char* op_name(CryptoOp op);
 
 /// Plain counter block, one slot per CryptoOp.
@@ -253,6 +260,24 @@ class MetricsScope {
   ~MetricsScope() { detail::tl_sink = prev_; }
   MetricsScope(const MetricsScope&) = delete;
   MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsBuffer* prev_;
+};
+
+/// RAII mute: removes this thread's sink entirely, restoring it on
+/// destruction. MetricsScope cannot express "no sink" (a null buffer keeps
+/// the previous one installed so call sites need no branching); the mute is
+/// for work whose cost must not be attributed to the current measurement —
+/// e.g. building a shared precompute artifact inside one session of the
+/// session engine, where counting the build would make that session's
+/// counters depend on whether an earlier session already paid for it.
+class MetricsMute {
+ public:
+  MetricsMute() : prev_(detail::tl_sink) { detail::tl_sink = nullptr; }
+  ~MetricsMute() { detail::tl_sink = prev_; }
+  MetricsMute(const MetricsMute&) = delete;
+  MetricsMute& operator=(const MetricsMute&) = delete;
 
  private:
   MetricsBuffer* prev_;

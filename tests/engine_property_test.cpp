@@ -1,0 +1,132 @@
+// Edge-case contract of the session engine: every malformed request must be
+// rejected at submit() with a typed EngineError — never enqueued, never
+// allowed to abort a driver thread — and a rejection must leave the engine
+// fully usable.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace ppgr::engine {
+namespace {
+
+using core::AttrVec;
+using core::ProblemSpec;
+
+RankingRequest valid_request(std::uint64_t sid) {
+  RankingRequest req;
+  req.session_id = sid;
+  req.spec = ProblemSpec{.m = 2, .t = 1, .d1 = 4, .d2 = 3, .h = 4};
+  req.k = 1;
+  req.v0 = {1, 2};
+  req.w = {3, 1};
+  req.infos = {{5, 6}, {7, 2}, {1, 9}};
+  return req;
+}
+
+SessionEngine& shared_engine() {
+  static PrecomputeCache cache;
+  static SessionEngine engine{[] {
+    EngineConfig cfg;
+    cfg.seed = 3;
+    cfg.max_in_flight = 2;
+    cfg.cache = &cache;
+    return cfg;
+  }()};
+  return engine;
+}
+
+EngineErrorCode rejection(const RankingRequest& req) {
+  try {
+    (void)shared_engine().submit(req);
+  } catch (const EngineError& e) {
+    EXPECT_NE(e.what(), std::string{});
+    return e.code();
+  }
+  ADD_FAILURE() << "request " << req.session_id << " was accepted";
+  return EngineErrorCode::kUnknownSession;
+}
+
+TEST(EngineProperty, RejectsInvalidSpec) {
+  auto req = valid_request(100);
+  req.spec.t = req.spec.m + 1;  // more equal-to attributes than attributes
+  EXPECT_EQ(rejection(req), EngineErrorCode::kInvalidSpec);
+}
+
+TEST(EngineProperty, RejectsKOutsideTopology) {
+  auto big_k = valid_request(101);
+  big_k.k = big_k.infos.size() + 1;  // k > n
+  EXPECT_EQ(rejection(big_k), EngineErrorCode::kInvalidTopology);
+
+  auto zero_k = valid_request(102);
+  zero_k.k = 0;
+  EXPECT_EQ(rejection(zero_k), EngineErrorCode::kInvalidTopology);
+
+  auto lonely = valid_request(103);
+  lonely.infos.resize(1);  // n < 2
+  EXPECT_EQ(rejection(lonely), EngineErrorCode::kInvalidTopology);
+}
+
+TEST(EngineProperty, RejectsMalformedInputs) {
+  auto short_v0 = valid_request(104);
+  short_v0.v0.pop_back();  // wrong dimension
+  EXPECT_EQ(rejection(short_v0), EngineErrorCode::kInvalidInput);
+
+  auto wide_attr = valid_request(105);
+  wide_attr.infos[1][0] = 1u << 10;  // exceeds d1 = 4 bits
+  EXPECT_EQ(rejection(wide_attr), EngineErrorCode::kInvalidInput);
+
+  auto wide_weight = valid_request(106);
+  wide_weight.w[0] = 1u << 9;  // exceeds d2 = 3 bits
+  EXPECT_EQ(rejection(wide_weight), EngineErrorCode::kInvalidInput);
+}
+
+TEST(EngineProperty, RejectsInfeasibleSsThreshold) {
+  auto explicit_t = valid_request(107);
+  explicit_t.framework = FrameworkKind::kSs;
+  explicit_t.ss_threshold = 2;  // n = 3 < 2t+1 = 5
+  EXPECT_EQ(rejection(explicit_t), EngineErrorCode::kInvalidThreshold);
+
+  auto tiny = valid_request(108);
+  tiny.framework = FrameworkKind::kSs;
+  tiny.infos.resize(2);  // default t = 0: no honest majority exists
+  EXPECT_EQ(rejection(tiny), EngineErrorCode::kInvalidThreshold);
+}
+
+TEST(EngineProperty, RejectsDuplicateAndUnknownSessionIds) {
+  SessionEngine& engine = shared_engine();
+  const std::uint64_t sid = engine.submit(valid_request(109));
+  EXPECT_EQ(rejection(valid_request(109)), EngineErrorCode::kDuplicateSession);
+  try {
+    (void)engine.take(424242);
+    ADD_FAILURE() << "take() of a never-submitted id succeeded";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.code(), EngineErrorCode::kUnknownSession);
+  }
+  // The accepted session is unaffected by the rejections around it.
+  const SessionResult res = engine.take(sid);
+  EXPECT_EQ(res.ranks().size(), 3u);
+}
+
+TEST(EngineProperty, RejectionsLeaveNoResidue) {
+  PrecomputeCache cache;
+  EngineConfig cfg;
+  cfg.seed = 17;
+  cfg.cache = &cache;
+  SessionEngine engine{cfg};
+  for (std::uint64_t sid = 1; sid <= 4; ++sid) {
+    auto bad = valid_request(sid);
+    bad.k = 0;
+    EXPECT_THROW((void)engine.submit(std::move(bad)), EngineError);
+  }
+  engine.drain();  // returns immediately: nothing was enqueued
+  EXPECT_EQ(engine.peak_in_flight(), 0u);
+  EXPECT_EQ(engine.precompute_stats().total().misses, 0u);
+  // Ids from rejected submissions stay available.
+  const std::uint64_t sid = engine.submit(valid_request(1));
+  EXPECT_EQ(engine.take(sid).ranks().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ppgr::engine
