@@ -126,7 +126,8 @@ void print_usage(const char* prog, std::FILE* out) {
       out,
       "usage: %s <instance-file> [--seed N] [--parallelism N]\n"
       "       [--metrics-out FILE] [--trace-out FILE] [--comm-out FILE]\n"
-      "       [--comm-trace-out FILE]\n"
+      "       [--comm-trace-out FILE] [--fault-plan SPEC] [--fault-seed N]\n"
+      "       [--fault-out FILE] [--degrade-on-dropout]\n"
       "\n"
       "  --seed N           deterministic run from ChaCha20 seed N (default:\n"
       "                     fresh OS entropy)\n"
@@ -146,6 +147,18 @@ void print_usage(const char* prog, std::FILE* out) {
       "                     simulated timeline (send/receive slices linked\n"
       "                     by flow arrows; load next to --trace-out in\n"
       "                     Perfetto)\n"
+      "  --fault-plan SPEC  inject a deterministic fault schedule, e.g.\n"
+      "                     'seed=7,drop=0.05,corrupt=0.02' or\n"
+      "                     'seed=3,crash=2@1' (see net/fault.h). The run\n"
+      "                     either completes or exits 4 with a typed\n"
+      "                     protocol-fault report; same SPEC => same faults\n"
+      "                     at any --parallelism\n"
+      "  --fault-seed N     override the SPEC's seed= field\n"
+      "  --fault-out FILE   write the fault/retry report as JSON (schema\n"
+      "                     ppgr.fault.v1), on success and on fault alike\n"
+      "  --degrade-on-dropout\n"
+      "                     rank the survivors when a participant is lost\n"
+      "                     before phase-2 commitment instead of aborting\n"
       "  --help             show this message\n",
       prog);
 }
@@ -180,6 +193,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string comm_path;
   std::string comm_trace_path;
+  std::string fault_spec;
+  std::string fault_path;
+  std::optional<std::uint64_t> fault_seed;
+  std::optional<net::FaultPlanConfig> fault_cfg;
+  bool degrade_on_dropout = false;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg{argv[i]};
@@ -201,9 +219,26 @@ int main(int argc, char** argv) {
         comm_path = value();
       } else if (arg == "--comm-trace-out") {
         comm_trace_path = value();
+      } else if (arg == "--fault-plan") {
+        fault_spec = value();
+      } else if (arg == "--fault-seed") {
+        fault_seed = std::stoull(value());
+      } else if (arg == "--fault-out") {
+        fault_path = value();
+      } else if (arg == "--degrade-on-dropout") {
+        degrade_on_dropout = true;
       } else {
         throw std::invalid_argument("unknown option '" + arg + "'");
       }
+    }
+    if (fault_spec.empty() && (fault_seed.has_value() || !fault_path.empty()))
+      throw std::invalid_argument(
+          "--fault-seed/--fault-out need a --fault-plan");
+    // A malformed spec is a usage error: parse it here so it exits 2 with
+    // the usage text, not 1 from the run path.
+    if (!fault_spec.empty()) {
+      fault_cfg = net::parse_fault_plan(fault_spec);
+      if (fault_seed.has_value()) fault_cfg->seed = *fault_seed;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -234,6 +269,15 @@ int main(int argc, char** argv) {
     cfg.metrics = metrics_out.has_value() || trace_out.has_value() ||
                   comm_out.has_value() || comm_trace_out.has_value();
 
+    std::optional<net::FaultPlan> fault_plan;
+    if (fault_cfg.has_value()) {
+      fault_plan.emplace(*fault_cfg);
+      cfg.fault_plan = &*fault_plan;
+      cfg.degrade_on_dropout = degrade_on_dropout;
+    }
+    std::optional<std::ofstream> fault_out;
+    if (!fault_path.empty()) fault_out = open_out(fault_path);
+
     mpz::ChaChaRng rng = seeded ? mpz::ChaChaRng{seed}
                                 : mpz::ChaChaRng::from_os();
     const auto result = core::run_framework(cfg, inst.criterion, inst.weights,
@@ -242,12 +286,35 @@ int main(int argc, char** argv) {
     std::printf("n=%zu participants, k=%zu, group=%s, l=%zu bits\n\n", cfg.n,
                 cfg.k, group->name().c_str(), cfg.spec.beta_bits());
     for (std::size_t j = 0; j < cfg.n; ++j) {
+      if (result.ranks[j] == 0) {
+        std::printf("participant %2zu: dropped (lost in phase 1)\n", j + 1);
+        continue;
+      }
       std::printf("participant %2zu: rank %2zu%s\n", j + 1, result.ranks[j],
                   result.ranks[j] <= cfg.k ? "   -> submitted to initiator"
                                            : "");
     }
     std::printf("\nrounds=%zu messages=%zu bytes=%zu\n", result.trace.rounds(),
                 result.trace.message_count(), result.trace.total_bytes());
+    if (result.faults.has_value()) {
+      const net::FaultStats& fs = result.faults->stats;
+      std::printf(
+          "faults: injected=%llu retransmits=%llu crc_detected=%llu "
+          "timeouts=%llu giveups=%llu\n",
+          static_cast<unsigned long long>(fs.injected_total()),
+          static_cast<unsigned long long>(fs.retransmits),
+          static_cast<unsigned long long>(fs.crc_detected),
+          static_cast<unsigned long long>(fs.timeouts),
+          static_cast<unsigned long long>(fs.giveups));
+    }
+    if (fault_out) {
+      if (!result.faults.has_value())
+        throw std::runtime_error("--fault-out: run produced no fault report");
+      *fault_out << result.faults->to_json();
+      if (!*fault_out)
+        throw std::runtime_error("failed writing '" + fault_path + "'");
+      std::printf("fault report written to %s\n", fault_path.c_str());
+    }
 
     if (metrics_out) {
       *metrics_out << result.metrics->to_json(/*include_timing=*/true);
@@ -280,6 +347,22 @@ int main(int argc, char** argv) {
                   comm_trace_path.c_str());
     }
     return 0;
+  } catch (const core::ProtocolFault& pf) {
+    const core::FaultInfo& fi = pf.info();
+    std::fprintf(stderr, "protocol fault: %s\n", pf.what());
+    std::fprintf(stderr, "  phase: %s\n  round: %zu\n",
+                 runtime::phase_name(fi.phase), fi.round);
+    if (fi.party != core::kNoParty)
+      std::fprintf(stderr, "  party: P%zu\n", fi.party);
+    std::fprintf(stderr, "  cause: %s\n", fi.cause.c_str());
+    if (!fault_path.empty()) {
+      std::ofstream out{fault_path};
+      out << pf.report().to_json();
+      if (out)
+        std::fprintf(stderr, "fault report written to %s\n",
+                     fault_path.c_str());
+    }
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

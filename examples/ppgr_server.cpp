@@ -73,10 +73,20 @@ core::AttrVec parse_values(std::istringstream& line) {
   return values;
 }
 
-std::vector<engine::RankingRequest> parse_file(const std::string& path) {
+/// parse_file never aborts on a malformed entry: the offending request is
+/// dropped (every bad line reported in `errors`) and the rest of the batch
+/// still runs — the exit-code contract in --help turns a nonempty `errors`
+/// into exit 3.
+struct ParseOutcome {
+  std::vector<engine::RankingRequest> reqs;
+  std::vector<std::string> errors;
+};
+
+ParseOutcome parse_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error("cannot open '" + path + "'");
-  std::vector<engine::RankingRequest> reqs;
+  ParseOutcome out;
+  std::vector<char> bad;  // parallel to out.reqs
   std::string raw;
   std::size_t lineno = 0;
   while (std::getline(in, raw)) {
@@ -89,15 +99,16 @@ std::vector<engine::RankingRequest> parse_file(const std::string& path) {
     try {
       if (directive == "session") {
         engine::RankingRequest req;
-        if (!(line >> req.session_id))
-          throw std::invalid_argument("session needs an id");
-        reqs.push_back(std::move(req));
+        const bool ok = static_cast<bool>(line >> req.session_id);
+        out.reqs.push_back(std::move(req));
+        bad.push_back(ok ? 0 : 1);
+        if (!ok) throw std::invalid_argument("session needs an id");
         continue;
       }
-      if (reqs.empty())
+      if (out.reqs.empty())
         throw std::invalid_argument("'" + directive +
                                     "' before the first 'session' line");
-      engine::RankingRequest& req = reqs.back();
+      engine::RankingRequest& req = out.reqs.back();
       if (directive == "framework") {
         std::string name;
         line >> name;
@@ -123,16 +134,39 @@ std::vector<engine::RankingRequest> parse_file(const std::string& path) {
         req.w = parse_values(line);
       } else if (directive == "participant") {
         req.infos.push_back(parse_values(line));
+      } else if (directive == "fault-plan") {
+        std::string spec;
+        std::getline(line, spec);
+        const auto start = spec.find_first_not_of(" \t");
+        if (start == std::string::npos)
+          throw std::invalid_argument("fault-plan needs a spec string");
+        req.fault_plan = net::parse_fault_plan(spec.substr(start));
+      } else if (directive == "degrade-on-dropout") {
+        req.degrade_on_dropout = true;
       } else {
         throw std::invalid_argument("unknown directive '" + directive + "'");
       }
     } catch (const std::exception& e) {
-      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
-                               e.what());
+      out.errors.push_back(path + ":" + std::to_string(lineno) + ": " +
+                           e.what());
+      if (!bad.empty()) bad.back() = 1;
     }
   }
-  if (reqs.empty()) throw std::runtime_error(path + ": no 'session' lines");
-  return reqs;
+  if (out.reqs.empty() && out.errors.empty())
+    throw std::runtime_error(path + ": no 'session' lines");
+  std::vector<engine::RankingRequest> good;
+  good.reserve(out.reqs.size());
+  for (std::size_t i = 0; i < out.reqs.size(); ++i) {
+    if (bad[i] != 0) {
+      out.errors.push_back(path + ": session " +
+                           std::to_string(out.reqs[i].session_id) +
+                           " dropped (malformed entry, see above)");
+      continue;
+    }
+    good.push_back(std::move(out.reqs[i]));
+  }
+  out.reqs = std::move(good);
+  return out;
 }
 
 // A built-in batch (3 HE + 1 SS session) so the engine can be exercised
@@ -177,7 +211,21 @@ void print_usage(const char* prog, std::FILE* out) {
       "  --rollup-out FILE write the deterministic rolled-up JSON export\n"
       "                    (schema ppgr.engine.v1)\n"
       "  --demo            run a built-in 4-session batch instead of a file\n"
-      "  --help            show this message\n",
+      "  --help            show this message\n"
+      "\n"
+      "Per-session request directives also include:\n"
+      "  fault-plan <spec>    deterministic fault injection for this session\n"
+      "                       (e.g. seed=7,drop=0.05; see net/fault.h)\n"
+      "  degrade-on-dropout   rank the survivors when a participant is lost\n"
+      "                       in phase 1 instead of aborting the session\n"
+      "\n"
+      "Exit codes:\n"
+      "  0  every request parsed, was admitted and completed with ranks\n"
+      "  1  fatal error (unreadable request file, I/O failure, engine abort)\n"
+      "  2  usage error (bad command line)\n"
+      "  3  batch degraded: at least one request was malformed (dropped at\n"
+      "     parse), rejected at submit, or ended in a typed protocol fault —\n"
+      "     every such request is reported on stderr, the rest still ran\n",
       prog, prog);
 }
 
@@ -225,22 +273,30 @@ int main(int argc, char** argv) {
   }
 
   try {
-    std::vector<engine::RankingRequest> reqs =
-        demo ? demo_batch() : parse_file(input_path);
+    ParseOutcome parsed;
+    if (demo)
+      parsed.reqs = demo_batch();
+    else
+      parsed = parse_file(input_path);
+    for (const std::string& err : parsed.errors)
+      std::fprintf(stderr, "request error: %s\n", err.c_str());
+    std::size_t rejected = 0;
+    std::size_t faulted = 0;
     engine::SessionEngine eng{cfg};
 
     std::printf("ppgr_server: %zu session(s), max_in_flight=%zu, "
                 "parallelism=%zu, seed=%llu\n\n",
-                reqs.size(), cfg.max_in_flight, cfg.parallelism,
+                parsed.reqs.size(), cfg.max_in_flight, cfg.parallelism,
                 static_cast<unsigned long long>(cfg.seed));
     // Submit everything up front (open loop), then collect in order;
     // invalid requests are reported and skipped, valid ones still run.
     std::vector<std::uint64_t> ids;
-    for (auto& req : reqs) {
+    for (auto& req : parsed.reqs) {
       const std::uint64_t sid = req.session_id;
       try {
         ids.push_back(eng.submit(std::move(req)));
       } catch (const engine::EngineError& e) {
+        ++rejected;
         std::fprintf(stderr, "session %llu rejected (%s): %s\n",
                      static_cast<unsigned long long>(sid),
                      engine::to_string(e.code()), e.what());
@@ -248,6 +304,13 @@ int main(int argc, char** argv) {
     }
     for (const std::uint64_t sid : ids) {
       const engine::SessionResult res = eng.take(sid);
+      if (res.outcome == engine::SessionOutcome::kFault) {
+        ++faulted;
+        std::printf("session %llu (%s): FAULT\n", (unsigned long long)sid,
+                    engine::to_string(res.framework));
+        std::fprintf(stderr, "session fault: %s\n", res.fault_what.c_str());
+        continue;
+      }
       std::printf("session %llu (%s): n=%zu", (unsigned long long)sid,
                   engine::to_string(res.framework), res.ranks().size());
       std::printf(", ranks [");
@@ -280,6 +343,13 @@ int main(int argc, char** argv) {
       if (!out)
         throw std::runtime_error("failed writing '" + rollup_path + "'");
       std::printf("rollup JSON written to %s\n", rollup_path.c_str());
+    }
+    if (!parsed.errors.empty() || rejected != 0 || faulted != 0) {
+      std::fprintf(stderr,
+                   "batch degraded: %zu malformed line(s), %zu rejected, "
+                   "%zu faulted\n",
+                   parsed.errors.size(), rejected, faulted);
+      return 3;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -18,7 +18,10 @@ Leaves are classified by key:
     vary run to run; a relative drift beyond the tolerance prints a WARN
     but never fails the gate. Simulated *virtual* network seconds are NOT
     noisy: they are a deterministic function of the run and compare
-    exactly;
+    exactly. Fault-injection/recovery counters ("ppgr.fault.v1", the
+    comm "faults" block, engine outcome rollups) are likewise seeded and
+    deterministic, and are forced into the exact class even when a noisy
+    substring (e.g. "latency") would otherwise match;
   - every other numeric leaf (operation counts, cache hit/miss counts,
     message counts, byte totals, rounds, parameters) is deterministic by
     construction, so any drift at all is a FAIL: the protocol, the codecs
@@ -45,8 +48,35 @@ NOISY_KEY_PARTS = (
     "ge_ns",  # latency histogram bin floors
 )
 
+# Fault-injection and channel-recovery observables (ppgr.fault.v1 sections,
+# CommRegistry "faults" blocks, engine per-outcome rollups) are seeded and
+# schedule-independent: they compare EXACTLY, even where a substring above
+# would otherwise classify them as noisy (e.g. the injected-delay counter
+# lives next to latency keys). Checked before the noisy classification.
+EXACT_KEY_PARTS = (
+    "injected",  # injected_drop/.../injected_crash/injected_total
+    "retransmits",
+    "crc_detected",
+    "duplicates_dropped",
+    "reorders_healed",
+    "timeouts",
+    "giveups",
+    "fault",  # fault coordinates, fault counters blocks
+    "outcome",  # engine per-outcome counts ("outcomes": {"ok": .., ..})
+    "dropped_parties",
+    "active_parties",
+)
+
+
+def is_forced_exact(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return any(part in leaf for part in EXACT_KEY_PARTS)
+
 
 def is_noisy(path):
+    # Deterministic fault/recovery counters win over every noisy pattern.
+    if is_forced_exact(path):
+        return False
     # Latency histogram bins hold wall-clock distributions: both the bin
     # floors and the per-bin counts are timing-dependent.
     if ".bins[" in path:

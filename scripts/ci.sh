@@ -18,6 +18,14 @@
 # race through one shared thread pool, cache and metrics registry, which is
 # exactly the surface TSan exists for.
 #
+# The `chaos` mode is the fault-injection leg: the seeded fault-matrix soak
+# (drop/corrupt/delay/crash x phase x party over both frameworks, plus the
+# channel/codec fault unit tests and the tampered-proof security tests) runs
+# under ASan+UBSan — every injected fault must end in a correct ranking or a
+# typed ProtocolFault, never UB. The engine fault-isolation soak (crash-killed
+# sessions vs bit-identical survivors over a shared precompute cache) runs
+# under TSan, since session isolation is a concurrency property.
+#
 # The `bench-regress` mode is the perf-regression gate: it reruns the
 # parallel_speedup and engine_throughput benches with the checked-in
 # baselines' exact configurations and compares both fresh reports against
@@ -29,7 +37,7 @@
 #   ./build/bench/parallel_speedup --out BENCH_parallel.json
 #   ./build/bench/engine_throughput --out BENCH_engine.json
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|bench-regress|all]
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +77,10 @@ case "${MODE}" in
   tsan) run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property' ;;
   engine) run_leg tsan -R 'engine' ;;
   metrics) run_leg asan -R 'runtime_metrics|metrics_export|model_validation|comm_validation|net_test' ;;
+  chaos)
+    run_leg asan -R '^fault_test$|chaos_test|wire_test|security_test'
+    run_leg tsan -R 'engine_fault'
+    ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
@@ -78,7 +90,7 @@ case "${MODE}" in
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|engine|metrics|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|bench-regress|all]" >&2
     exit 2
     ;;
 esac

@@ -434,8 +434,62 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
 
   // The message transport: n participants + the initiator (party 0), on the
   // default complete-graph topology. Byte accounting (trace) is always on;
-  // the flow/virtual-time view (comm) rides on cfg.metrics.
-  net::Router router{n + 1, result.trace, result.comm.get()};
+  // the flow/virtual-time view (comm) rides on cfg.metrics. A fault plan
+  // (if any) is consulted inside the router's serial choke point, so the
+  // fault schedule is independent of cfg.parallelism.
+  net::Router::Config router_cfg;
+  router_cfg.faults = cfg.fault_plan;
+  net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
+
+  // Typed failure constructors (DESIGN.md Sec. 7). Channel errors carry the
+  // failing link; the blamed party is the dead one if either endpoint
+  // crashed, else the participant side of the link.
+  const auto proto_fault = [&](Phase phase, std::size_t party,
+                               const std::string& cause) {
+    std::string what = "run_framework: " + cause + " [phase " +
+                       runtime::phase_name(phase) + ", round " +
+                       std::to_string(router.round_index());
+    if (party != kNoParty) what += ", party P" + std::to_string(party);
+    what += "]";
+    return ProtocolFault(
+        FaultInfo{phase, router.round_index(), party, cause},
+        router.fault_report(), what);
+  };
+  const auto blame = [&](const net::ChannelError& e) -> std::size_t {
+    if (router.party_dead(e.src())) return e.src();
+    if (router.party_dead(e.dst())) return e.dst();
+    return e.src() == 0 ? e.dst() : e.src();
+  };
+  // Converts transport/decode failures escaping a phase into ProtocolFault.
+  // Decode failures (WireError / invalid_argument from the codecs'
+  // validation) are converted only under a fault plan: without one they
+  // remain what they always were — programming errors.
+  const auto rethrow_as_fault = [&](Phase phase) {
+    try {
+      throw;
+    } catch (const ProtocolFault&) {
+      throw;
+    } catch (const net::ChannelError& e) {
+      throw proto_fault(phase, blame(e),
+                        std::string("channel failure: ") + e.what());
+    } catch (const runtime::WireError& e) {
+      if (cfg.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("undecodable message: ") + e.what());
+    } catch (const std::invalid_argument& e) {
+      if (cfg.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("invalid message content: ") + e.what());
+    } catch (const std::exception& e) {
+      // Tampered payloads carry a valid CRC and decode into garbage that can
+      // trip any downstream validation (range checks, share consistency...).
+      // Under an installed plan every such failure is a protocol fault, not
+      // a crash; without one, rethrow untouched.
+      if (cfg.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("corrupted protocol state: ") + e.what());
+    }
+  };
   // Per-task staging buffers for messages produced inside parallel regions;
   // absorbed in task-index order after each fork-join barrier.
   std::vector<runtime::CommBuffer> cbufs(std::max(n, std::size_t{1}));
@@ -444,9 +498,25 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   };
 
   // ---- Phase 1: secure gain computation ----
+  // Dropout handling: a participant whose phase-1 channel fails (crash,
+  // retries exhausted, deadline) is marked dropped. Without
+  // degrade_on_dropout the run aborts right there with a ProtocolFault;
+  // with it, phase 1 finishes over the remaining links and the protocol is
+  // rerun over the survivor set below (the dropout happened before any
+  // phase-2 commitment, so no comparison state binds the dead party). The
+  // initiator crashing is always fatal.
+  std::vector<char> dropped(n, 0);
+  const auto mark_dropout = [&](std::size_t j, const net::ChannelError& e) {
+    if (router.party_dead(0))
+      throw proto_fault(Phase::kPhase1, 0, "initiator crashed");
+    if (!cfg.degrade_on_dropout)
+      throw proto_fault(Phase::kPhase1, j + 1,
+                        std::string("participant lost: ") + e.what());
+    dropped[j] = 1;
+  };
   obs.set_phase(Phase::kPhase1);
   router.set_phase(Phase::kPhase1);
-  {
+  try {
     const runtime::SpanScope phase_span{obs.span_sink(),
                                         "phase1.gain_computation",
                                         Phase::kPhase1,
@@ -475,9 +545,16 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                                     Phase::kPhase1,
                                     runtime::kOrchestratorParty};
       std::vector<Payload> rx(n);
-      for (std::size_t j = 0; j < n; ++j) rx[j] = router.receive(j + 1, 0);
+      for (std::size_t j = 0; j < n; ++j) {
+        try {
+          rx[j] = router.receive(j + 1, 0);
+        } catch (const net::ChannelError& e) {
+          mark_dropout(j, e);
+        }
+      }
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
+        if (dropped[j] != 0) return;
         auto guard = obs.task(j, 0, "task.gain_answer", j + 1);
         auto scope = timer.time(0);
         runtime::Reader r{*rx[j]};
@@ -497,9 +574,17 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                                     Phase::kPhase1,
                                     runtime::kOrchestratorParty};
       std::vector<Payload> rx(n);
-      for (std::size_t j = 0; j < n; ++j) rx[j] = router.receive(0, j + 1);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dropped[j] != 0) continue;
+        try {
+          rx[j] = router.receive(0, j + 1);
+        } catch (const net::ChannelError& e) {
+          mark_dropout(j, e);
+        }
+      }
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
+        if (dropped[j] != 0) return;
         auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
                               "task.gain_finish");
         auto scope = timer.time(j + 1);
@@ -513,13 +598,55 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
     result.betas.reserve(n);
     for (std::size_t j = 0; j < n; ++j)
       result.betas.push_back(parts[j].beta());
+  } catch (...) {
+    rethrow_as_fault(Phase::kPhase1);
+  }
+
+  // Degrade-on-dropout: rerun over the survivors (fresh instance, no fault
+  // plan — the faults already happened) and remap its outputs to the
+  // original party ids. β_j ordering is independent per party, so the
+  // survivors' ranking equals the reduced instance's ranking.
+  if (std::any_of(dropped.begin(), dropped.end(),
+                  [](char d) { return d != 0; })) {
+    std::vector<std::size_t> survivors, lost;
+    for (std::size_t j = 0; j < n; ++j)
+      (dropped[j] != 0 ? lost : survivors).push_back(j + 1);
+    if (survivors.size() < 2)
+      throw proto_fault(Phase::kPhase1, lost.front(),
+                        "too few survivors to degrade (" +
+                            std::to_string(survivors.size()) + " left)");
+    FrameworkConfig sub = cfg;
+    sub.n = survivors.size();
+    sub.k = std::min(cfg.k, sub.n);
+    sub.fault_plan = nullptr;
+    sub.degrade_on_dropout = false;
+    std::vector<AttrVec> sub_infos;
+    sub_infos.reserve(survivors.size());
+    for (const std::size_t id : survivors) sub_infos.push_back(infos[id - 1]);
+    FrameworkResult out = run_framework(sub, v0, w, sub_infos, rng);
+    std::vector<std::size_t> ranks(n, 0);
+    std::vector<Nat> betas(n);
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      ranks[survivors[i] - 1] = out.ranks[i];
+      betas[survivors[i] - 1] = std::move(out.betas[i]);
+    }
+    out.ranks = std::move(ranks);
+    out.betas = std::move(betas);
+    for (std::size_t& sid : out.submitted_ids) sid = survivors[sid - 1];
+    out.active_parties = std::move(survivors);
+    out.dropped_parties = std::move(lost);
+    out.faults = router.fault_report();
+    return out;
   }
 
   // ---- Phase 2: unlinkable gain comparison ----
   obs.set_phase(Phase::kPhase2);
   router.set_phase(Phase::kPhase2);
+  // From here on every party is cryptographically bound into the joint key,
+  // the comparison circuits and the shuffle chain: any dropout or
+  // undecodable message is a clean typed abort, never a degrade.
   std::vector<CipherSet> v_sets(n, CipherSet((n - 1) * l));
-  {
+  try {
     const runtime::SpanScope phase_span{obs.span_sink(),
                                         "phase2.unlinkable_comparison",
                                         Phase::kPhase2,
@@ -594,6 +721,10 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
           proof_rx[j * n + peer] = router.receive(peer + 1, j + 1);
         }
       }
+      // Verification failures are collected per (verifier, prover) pair and
+      // surfaced after the barrier as a typed ProtocolFault naming the
+      // prover whose proof was rejected — never an in-task abort.
+      std::vector<char> proof_bad(n * n, 0);
       obs.stage(n);
       pool.parallel_for(n, [&](std::size_t j) {
         auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
@@ -611,11 +742,16 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
           pr.finish();
           // Challenge list shared out-of-band (see the prove step above).
           t.challenges = proofs[peer].challenges;
-          if (!parts[j].verify_peer_key(y, t))
-            throw std::runtime_error("run_framework: key proof rejected");
+          if (!parts[j].verify_peer_key(y, t)) proof_bad[j * n + peer] = 1;
         }
       });
       obs.collect();
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t peer = 0; peer < n; ++peer)
+          if (proof_bad[j * n + peer] != 0)
+            throw proto_fault(Phase::kPhase2, peer + 1,
+                              "key proof rejected (verifier P" +
+                                  std::to_string(j + 1) + ")");
     }
     KeyPrecompute key_mat;
     {
@@ -752,12 +888,14 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       v_sets[owner] = crypto::read_ciphertext_seq(r, g, v_sets[owner].size());
       r.finish();
     }
+  } catch (...) {
+    rethrow_as_fault(Phase::kPhase2);
   }
 
   // Step 9 / Phase 3: ranks and submissions.
   obs.set_phase(Phase::kPhase3);
   router.set_phase(Phase::kPhase3);
-  {
+  try {
     const runtime::SpanScope phase_span{obs.span_sink(), "phase3.submission",
                                         Phase::kPhase3,
                                         runtime::kOrchestratorParty};
@@ -806,10 +944,16 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       if (!bad.empty())
         throw std::runtime_error("run_framework: inconsistent submission");
     }
+  } catch (...) {
+    rethrow_as_fault(Phase::kPhase3);
   }
 
   if (router.pending() != 0)
     throw std::logic_error("run_framework: undelivered messages");
+
+  result.active_parties.resize(n);
+  for (std::size_t j = 0; j < n; ++j) result.active_parties[j] = j + 1;
+  if (cfg.fault_plan != nullptr) result.faults = router.fault_report();
 
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)

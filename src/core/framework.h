@@ -36,6 +36,7 @@
 #include "group/fixed_base.h"
 #include "group/group.h"
 #include "mpz/rng.h"
+#include "net/fault.h"
 #include "runtime/comm.h"
 #include "runtime/metrics.h"
 #include "runtime/span.h"
@@ -55,6 +56,42 @@ using mpz::Rng;
 /// A participant's flattened comparison set travelling the shuffle chain
 /// ((n-1)·l ciphertexts; the paper's script-E_j).
 using CipherSet = std::vector<Ciphertext>;
+
+/// Party id for a fault not attributable to one party.
+inline constexpr std::size_t kNoParty = static_cast<std::size_t>(-1);
+
+/// Where and why a protocol run failed (DESIGN.md Sec. 7 "Failure model").
+/// `party` is a router party id (0 = initiator, 1..n = participants,
+/// kNoParty = unattributable); `round` is the transport round index at the
+/// failure.
+struct FaultInfo {
+  runtime::Phase phase = runtime::Phase::kSetup;
+  std::size_t round = 0;
+  std::size_t party = kNoParty;
+  std::string cause;
+};
+
+/// Typed protocol failure: every way a run can fail under faults — channel
+/// give-up/timeout, peer crash, undecodable (tampered) message, rejected
+/// zero-knowledge proof, or too few survivors to degrade onto — surfaces as
+/// this exception, never as a hang, an abort or UB. Carries the fault
+/// coordinates plus the router's full fault report (counters + injection
+/// event log) for observability.
+class ProtocolFault : public std::runtime_error {
+ public:
+  ProtocolFault(FaultInfo info, net::FaultReport report,
+                const std::string& what)
+      : std::runtime_error(what),
+        info_(std::move(info)),
+        report_(std::move(report)) {}
+
+  [[nodiscard]] const FaultInfo& info() const { return info_; }
+  [[nodiscard]] const net::FaultReport& report() const { return report_; }
+
+ private:
+  FaultInfo info_;
+  net::FaultReport report_;
+};
 
 /// Joint-key-dependent precompute a PrecomputeSource hands a run: a
 /// fixed-base table for the joint ElGamal key and a zero-encryption pool
@@ -121,6 +158,20 @@ struct FrameworkConfig {
   /// way; with a source attached, per-op group counts shift from
   /// exponentiations to multiplications (see DESIGN.md §6).
   PrecomputeSource* precompute = nullptr;
+  /// Deterministic fault schedule routed into the run's net::Router; must
+  /// outlive the run. Null or disabled: the fault layer is a strict no-op
+  /// and every output/export is bit-identical to a build without it.
+  const net::FaultPlan* fault_plan = nullptr;
+  /// Dropout policy: when a participant is declared dead *before the
+  /// phase-2 commitment* (i.e. during phase 1), rerun the protocol over the
+  /// surviving party set instead of aborting — the paper's β_j ordering is
+  /// independent per party, so the survivors' ranking is exactly the
+  /// ranking of the reduced instance (k is clamped to the survivor count).
+  /// Dropouts at or after phase 2 always abort with a ProtocolFault:
+  /// comparisons and the shuffle chain bind all parties cryptographically.
+  /// Security caveat: degrading reveals *that* the dropped parties are
+  /// absent and re-randomizes the survivors' masks — see DESIGN.md Sec. 7.
+  bool degrade_on_dropout = false;
 
   void validate() const;
 };
@@ -272,6 +323,15 @@ struct FrameworkResult {
   /// iff FrameworkConfig::metrics; the TraceRecorder byte accounting is
   /// always on.
   std::unique_ptr<runtime::CommRegistry> comm;
+  /// Participants (1-based) that completed the run. All of 1..n normally;
+  /// the survivor set after a degrade-on-dropout continuation. For dropped
+  /// parties, ranks[j-1] == 0 and betas[j-1] is empty.
+  std::vector<std::size_t> active_parties;
+  /// Participants (1-based) declared dead and degraded around.
+  std::vector<std::size_t> dropped_parties;
+  /// Present iff a fault plan was installed: the run's fault report
+  /// ("ppgr.fault.v1" via to_json()).
+  std::optional<net::FaultReport> faults;
 };
 
 /// Runs the whole framework honestly (HBC) with in-process parties.

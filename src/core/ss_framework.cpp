@@ -1,5 +1,6 @@
 #include "core/ss_framework.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -45,7 +46,58 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
     result.spans = std::make_unique<runtime::SpanRecorder>();
     result.comm = std::make_unique<runtime::CommRegistry>();
   }
-  net::Router router{n + 1, result.trace, result.comm.get()};
+  net::Router::Config router_cfg;
+  router_cfg.faults = base.fault_plan;
+  net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
+
+  // Fault handling mirrors run_framework: channel-layer failures surface as
+  // typed ProtocolFaults naming the phase, round and blamed party.
+  const auto proto_fault = [&](runtime::Phase phase, std::size_t party,
+                               const std::string& cause) {
+    FaultInfo info;
+    info.phase = phase;
+    info.round = router.round_index();
+    info.party = party;
+    info.cause = cause;
+    std::string what = "run_ss_framework: " + cause + " [phase " +
+                       std::string(runtime::phase_name(phase)) + ", round " +
+                       std::to_string(info.round);
+    if (party != kNoParty) what += ", party P" + std::to_string(party);
+    what += "]";
+    return ProtocolFault{std::move(info), router.fault_report(), what};
+  };
+  const auto blame = [&](const net::ChannelError& e) {
+    if (router.party_dead(e.src())) return e.src();
+    if (router.party_dead(e.dst())) return e.dst();
+    return e.src() == 0 ? e.dst() : e.src();
+  };
+  const auto rethrow_as_fault = [&](runtime::Phase phase) {
+    try {
+      throw;
+    } catch (const ProtocolFault&) {
+      throw;
+    } catch (const net::ChannelError& e) {
+      throw proto_fault(phase, blame(e),
+                        std::string("channel failure: ") + e.what());
+    } catch (const runtime::WireError& e) {
+      if (base.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("undecodable message: ") + e.what());
+    } catch (const std::invalid_argument& e) {
+      if (base.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("invalid message content: ") + e.what());
+    } catch (const std::exception& e) {
+      // Tampered payloads carry a valid CRC and decode into garbage that can
+      // trip any downstream validation (range checks, share consistency...).
+      // Under an installed plan every such failure is a protocol fault, not
+      // a crash; without one, rethrow untouched.
+      if (base.fault_plan == nullptr) throw;
+      throw proto_fault(phase, kNoParty,
+                        std::string("corrupted protocol state: ") + e.what());
+    }
+  };
+
   runtime::SpanSink* const span_sink = result.spans.get();
   runtime::MetricsBuffer mbuf;
   const runtime::MetricsScope mscope{base.metrics ? &mbuf : nullptr,
@@ -62,8 +114,20 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   for (std::size_t j = 1; j <= n; ++j)
     parts.emplace_back(base, j, infos[j - 1], rng);
   std::vector<Nat> betas(n);
+  std::vector<char> dropped(n, 0);
+  // A participant lost in phase 1 either aborts the run (typed fault) or —
+  // under degrade_on_dropout — is marked and the protocol restarts over the
+  // survivors. The initiator is irreplaceable: its loss always aborts.
+  const auto mark_dropout = [&](std::size_t j, const net::ChannelError& e) {
+    if (router.party_dead(0))
+      throw proto_fault(runtime::Phase::kPhase1, 0, "initiator crashed");
+    if (!base.degrade_on_dropout)
+      throw proto_fault(runtime::Phase::kPhase1, j + 1,
+                        std::string("participant lost: ") + e.what());
+    dropped[j] = 1;
+  };
   router.set_phase(runtime::Phase::kPhase1);
-  {
+  try {
     const runtime::SpanScope phase_span{span_sink, "phase1.gain_computation",
                                         runtime::Phase::kPhase1,
                                         runtime::kOrchestratorParty};
@@ -91,7 +155,13 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
                                           static_cast<std::int32_t>(j + 1)};
       if (base.metrics) mbuf.set_context(runtime::Phase::kPhase1, 0);
       auto scope = timer.time(0);
-      const auto payload = router.channel(j + 1, 0).receive();
+      std::shared_ptr<const std::vector<std::uint8_t>> payload;
+      try {
+        payload = router.channel(j + 1, 0).receive();
+      } catch (const net::ChannelError& e) {
+        mark_dropout(j, e);
+        continue;
+      }
       runtime::Reader r{*payload};
       const auto q = read_bob_round1(r, *base.dot_field);
       r.finish();
@@ -102,6 +172,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
     }
     router.next_round();
     for (std::size_t j = 0; j < n; ++j) {
+      if (dropped[j] != 0) continue;
       const runtime::SpanScope party_span{span_sink, "task.gain_finish",
                                           runtime::Phase::kPhase1,
                                           static_cast<std::int32_t>(j + 1)};
@@ -109,17 +180,71 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
         mbuf.set_context(runtime::Phase::kPhase1,
                          static_cast<std::int32_t>(j + 1));
       auto scope = timer.time(j + 1);
-      const auto payload = router.channel(0, j + 1).receive();
+      std::shared_ptr<const std::vector<std::uint8_t>> payload;
+      try {
+        payload = router.channel(0, j + 1).receive();
+      } catch (const net::ChannelError& e) {
+        mark_dropout(j, e);
+        continue;
+      }
       runtime::Reader r{*payload};
       const auto a = read_alice_round2(r, *base.dot_field);
       r.finish();
       parts[j].receive_gain_answer(a);
       betas[j] = parts[j].beta();
     }
+  } catch (...) {
+    rethrow_as_fault(runtime::Phase::kPhase1);
+  }
+
+  // Degrade-on-dropout: restart the whole protocol over the survivors with
+  // a fresh, fault-free configuration (see DESIGN.md Sec. 7). The SS sort
+  // additionally needs the threshold to stay feasible: n' >= 2t'+1, t' >= 1.
+  if (std::any_of(dropped.begin(), dropped.end(),
+                  [](char d) { return d != 0; })) {
+    std::vector<std::size_t> survivors;
+    std::vector<std::size_t> lost;
+    for (std::size_t j = 0; j < n; ++j)
+      (dropped[j] != 0 ? lost : survivors).push_back(j + 1);
+    const std::size_t max_t =
+        survivors.size() >= 3 ? (survivors.size() - 1) / 2 : 0;
+    if (max_t < 1)
+      throw proto_fault(
+          runtime::Phase::kPhase1, kNoParty,
+          "too few survivors to degrade (" + std::to_string(survivors.size()) +
+              " left, SS sort needs n >= 2t+1 with t >= 1)");
+    SsFrameworkConfig sub = cfg;
+    sub.base.n = survivors.size();
+    sub.base.k = std::min(base.k, sub.base.n);
+    sub.base.fault_plan = nullptr;
+    sub.base.degrade_on_dropout = false;
+    sub.threshold = std::min(cfg.threshold, max_t);
+    std::vector<AttrVec> sub_infos;
+    sub_infos.reserve(survivors.size());
+    for (const std::size_t id : survivors) sub_infos.push_back(infos[id - 1]);
+    SsFrameworkResult out = run_ss_framework(sub, v0, w, sub_infos, rng);
+    std::vector<std::size_t> ranks(n, 0);
+    for (std::size_t s = 0; s < survivors.size(); ++s)
+      ranks[survivors[s] - 1] = out.ranks[s];
+    out.ranks = std::move(ranks);
+    for (std::size_t& sid : out.submitted_ids) sid = survivors[sid - 1];
+    out.active_parties = std::move(survivors);
+    out.dropped_parties = std::move(lost);
+    out.faults = router.fault_report();
+    return out;
   }
 
   // ---- Phase 2: secret-sharing sort of the β values ----
   router.set_phase(runtime::Phase::kPhase2);
+  // From here on every β is committed into the shared sort: a party lost
+  // now (crash scheduled at phase 2) is a clean typed abort, never a
+  // degrade — the in-process engine cannot re-share without it.
+  if (router.fault_active()) {
+    for (std::size_t p = 0; p <= n; ++p)
+      if (router.party_dead(p))
+        throw proto_fault(runtime::Phase::kPhase2, p,
+                          p == 0 ? "initiator crashed" : "participant crashed");
+  }
   if (base.metrics)
     mbuf.set_context(runtime::Phase::kPhase2, runtime::kOrchestratorParty);
   const FpCtx& field = ss_field_for_beta_bits(l);
@@ -168,7 +293,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   }
 
   // ---- Phase 3 ----
-  if (!counting) {
+  if (!counting) try {
     const runtime::SpanScope phase_span{span_sink, "phase3.submission",
                                         runtime::Phase::kPhase3,
                                         runtime::kOrchestratorParty};
@@ -194,11 +319,16 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
       r.finish();
     }
     router.next_round();
+  } catch (...) {
+    rethrow_as_fault(runtime::Phase::kPhase3);
   }
 
   // Nothing counted runs after this point, so draining the buffer while the
   // sink is still installed is safe (absorb clears it).
   if (base.metrics) result.metrics->absorb(mbuf);
+  result.active_parties.resize(n);
+  for (std::size_t j = 0; j < n; ++j) result.active_parties[j] = j + 1;
+  if (base.fault_plan != nullptr) result.faults = router.fault_report();
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)
     result.compute_seconds[p] = timer.seconds(p);

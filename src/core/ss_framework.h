@@ -33,6 +33,13 @@ struct SsFrameworkResult {
   /// phase-3 flows carry real serialized payloads; the phase-2 sort traffic
   /// is transmitted per the engine's exact byte meter.
   std::unique_ptr<runtime::CommRegistry> comm;
+  /// Fault-tolerance bookkeeping, mirroring FrameworkResult: the 1-based
+  /// ids that finished the run, the ids dropped by degrade-on-dropout
+  /// (ranks[j-1] == 0 for those), and the fault report when a plan was
+  /// installed.
+  std::vector<std::size_t> active_parties;
+  std::vector<std::size_t> dropped_parties;
+  std::optional<net::FaultReport> faults;
 };
 
 struct SsFrameworkConfig {

@@ -49,6 +49,23 @@ void append_counters(std::string& out, const CacheCounters& c) {
           static_cast<unsigned long long>(c.misses));
 }
 
+// Fault causes embed channel-error text; escape the JSON specials so the
+// rollup stays well-formed whatever the message contains.
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      appendf(out, "\\u%04x", static_cast<unsigned>(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
 // Per-session PrecomputeSource: forwards run_framework's two precompute
 // requests to the (shared or private) cache, accounting this session's
 // hits/misses and the wall time spent fetching/building.
@@ -105,6 +122,10 @@ const char* to_string(FrameworkKind kind) {
   return kind == FrameworkKind::kHe ? "he" : "ss";
 }
 
+const char* to_string(SessionOutcome outcome) {
+  return outcome == SessionOutcome::kOk ? "ok" : "fault";
+}
+
 const char* to_string(EngineErrorCode code) {
   switch (code) {
     case EngineErrorCode::kInvalidSpec: return "invalid_spec";
@@ -144,10 +165,12 @@ SessionEngine::~SessionEngine() {
 }
 
 void SessionEngine::validate(const RankingRequest& req) const {
+  // Every rejection names the session so batch callers can attribute it.
+  const std::string who = "session " + std::to_string(req.session_id);
   try {
     req.spec.validate();
   } catch (const std::exception& e) {
-    throw EngineError(EngineErrorCode::kInvalidSpec, e.what());
+    throw EngineError(EngineErrorCode::kInvalidSpec, who + ": " + e.what());
   }
   const std::size_t n = req.infos.size();
   if (n < 2)
@@ -165,11 +188,12 @@ void SessionEngine::validate(const RankingRequest& req) const {
     req.spec.check_weights(req.w);
     for (const auto& v : req.infos) req.spec.check_attributes(v);
   } catch (const std::exception& e) {
-    throw EngineError(EngineErrorCode::kInvalidInput, e.what());
+    throw EngineError(EngineErrorCode::kInvalidInput, who + ": " + e.what());
   }
   if (req.spec.beta_bits() + 2 > core::default_dot_field().bits())
-    throw EngineError(EngineErrorCode::kInvalidSpec,
-                      "spec beta range exceeds the phase-1 dot-product field");
+    throw EngineError(
+        EngineErrorCode::kInvalidSpec,
+        who + ": spec beta range exceeds the phase-1 dot-product field");
   if (req.framework == FrameworkKind::kSs) {
     const std::size_t t =
         req.ss_threshold != 0 ? req.ss_threshold : (n >= 3 ? (n - 1) / 2 : 0);
@@ -190,7 +214,10 @@ std::uint64_t SessionEngine::submit(RankingRequest req) {
       throw std::logic_error("SessionEngine: submit after shutdown");
     if (!known_ids_.insert(sid).second)
       throw EngineError(EngineErrorCode::kDuplicateSession,
-                        "duplicate session id " + std::to_string(sid));
+                        "session " + std::to_string(sid) +
+                            ": duplicate session id");
+    if (req.fault_plan.enabled() || req.degrade_on_dropout)
+      fault_aware_ = true;
     queue_.push_back(std::move(req));
   }
   work_cv_.notify_one();
@@ -236,6 +263,8 @@ void SessionEngine::driver_loop() {
           s.has_ops = true;
           s.ops = m->totals();
         }
+        s.outcome = res.outcome;
+        s.fault = res.fault;
         summaries_.emplace(req.session_id, std::move(s));
         totals_ += res.precompute;
         const CacheCounters t = res.precompute.total();
@@ -272,6 +301,19 @@ SessionResult SessionEngine::execute(const RankingRequest& req) {
   fcfg.dot_field = &core::default_dot_field();
   fcfg.metrics = cfg_.metrics;
 
+  // Fault isolation: a ProtocolFault is a *result* (outcome = kFault), not a
+  // driver-thread exception — the session slot frees normally and nothing
+  // shared (pool, caches, groups) holds session state that could leak.
+  net::FaultPlan plan{req.fault_plan};
+  if (plan.enabled()) fcfg.fault_plan = &plan;
+  fcfg.degrade_on_dropout = req.degrade_on_dropout;
+  const auto note_fault = [&out, &req](const core::ProtocolFault& pf) {
+    out.outcome = SessionOutcome::kFault;
+    out.fault = pf.info();
+    out.fault_what =
+        "session " + std::to_string(req.session_id) + ": " + pf.what();
+  };
+
   if (req.framework == FrameworkKind::kHe) {
     fcfg.shared_pool = &pool_;
     std::array<std::uint8_t, 32> pool_key{};
@@ -286,7 +328,11 @@ SessionResult SessionEngine::execute(const RankingRequest& req) {
     PrecomputeCache* cache = cache_ != nullptr ? cache_ : &private_cache;
     SessionSource source{*cache, pool_key};
     fcfg.precompute = &source;
-    out.he = core::run_framework(fcfg, req.v0, req.w, req.infos, rng);
+    try {
+      out.he = core::run_framework(fcfg, req.v0, req.w, req.infos, rng);
+    } catch (const core::ProtocolFault& pf) {
+      note_fault(pf);
+    }
     out.setup_seconds = source.setup_seconds();
     out.precompute = source.stats();
   } else {
@@ -294,7 +340,11 @@ SessionResult SessionEngine::execute(const RankingRequest& req) {
     scfg.base = fcfg;  // serial baseline: no shared pool, no precompute
     scfg.threshold = req.ss_threshold != 0 ? req.ss_threshold
                                            : (req.infos.size() - 1) / 2;
-    out.ss = core::run_ss_framework(scfg, req.v0, req.w, req.infos, rng);
+    try {
+      out.ss = core::run_ss_framework(scfg, req.v0, req.w, req.infos, rng);
+    } catch (const core::ProtocolFault& pf) {
+      note_fault(pf);
+    }
   }
   out.wall_seconds = runtime::metrics_now_seconds() - t0;
   return out;
@@ -363,6 +413,14 @@ std::string SessionEngine::rollup_json() const {
   appendf(out, "  \"share_precompute\": %s,\n",
           cfg_.share_precompute ? "true" : "false");
   appendf(out, "  \"sessions_completed\": %zu,\n", summaries_.size());
+  if (fault_aware_) {
+    std::size_t ok = 0;
+    std::size_t faulted = 0;
+    for (const auto& [sid, s] : summaries_)
+      ++(s.outcome == SessionOutcome::kOk ? ok : faulted);
+    appendf(out, "  \"outcomes\": {\"ok\": %zu, \"fault\": %zu},\n", ok,
+            faulted);
+  }
   out += "  \"cache\": {\n    \"generator_tables\": ";
   append_counters(out, totals_.generator_table);
   out += ",\n    \"joint_key_tables\": ";
@@ -389,6 +447,19 @@ std::string SessionEngine::rollup_json() const {
     if (s.has_ops) {
       out += ",\n     \"ops\": ";
       append_ops(out, s.ops);
+    }
+    if (fault_aware_) {
+      appendf(out, ",\n     \"outcome\": \"%s\"", to_string(s.outcome));
+      if (s.fault.has_value()) {
+        const core::FaultInfo& f = *s.fault;
+        appendf(out, ", \"fault\": {\"phase\": \"%s\", \"round\": %zu, ",
+                runtime::phase_name(f.phase), f.round);
+        appendf(out, "\"party\": %lld, \"cause\": ",
+                f.party == core::kNoParty ? -1LL
+                                          : static_cast<long long>(f.party));
+        append_json_string(out, f.cause);
+        out += "}";
+      }
     }
     out += "}";
     first = false;

@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -59,7 +60,19 @@ struct RankingRequest {
   std::vector<core::AttrVec> infos;   // one per participant; n = size()
   /// kSs only: collusion threshold t with n >= 2t+1; 0 = largest valid t.
   std::size_t ss_threshold = 0;
+  /// Deterministic fault schedule for this session (see net/fault.h);
+  /// default-constructed = no faults, zero overhead, byte-identical outputs.
+  net::FaultPlanConfig fault_plan{};
+  /// Forwarded to FrameworkConfig::degrade_on_dropout.
+  bool degrade_on_dropout = false;
 };
+
+/// How a session ended: kOk = ranks delivered (possibly over a degraded
+/// survivor set); kFault = the run aborted with a typed core::ProtocolFault,
+/// recorded in SessionResult::fault. Faulted sessions are normal results —
+/// they never tear down the engine or poison other sessions.
+enum class SessionOutcome : std::uint8_t { kOk = 0, kFault = 1 };
+[[nodiscard]] const char* to_string(SessionOutcome outcome);
 
 /// Typed rejection reasons: invalid sessions must fail cleanly at submit(),
 /// never abort a driver thread.
@@ -139,6 +152,13 @@ struct SessionResult {
   double wall_seconds = 0.0;   // execution start -> completion (noisy)
   double setup_seconds = 0.0;  // time inside precompute fetch/build (noisy)
   PrecomputeStats precompute;  // this session's cache interactions
+
+  /// kFault: the run aborted with a typed ProtocolFault; `fault` holds its
+  /// phase/round/party/cause and `fault_what` the full message ("session
+  /// <id>: ..."). he/ss are then empty.
+  SessionOutcome outcome = SessionOutcome::kOk;
+  std::optional<core::FaultInfo> fault;
+  std::string fault_what;
 };
 
 struct EngineConfig {
@@ -215,6 +235,8 @@ class SessionEngine {
     std::uint64_t trace_bytes = 0;
     bool has_ops = false;
     runtime::OpTally ops;
+    SessionOutcome outcome = SessionOutcome::kOk;
+    std::optional<core::FaultInfo> fault;
   };
 
   void validate(const RankingRequest& req) const;
@@ -242,6 +264,11 @@ class SessionEngine {
   std::size_t active_ = 0;
   std::size_t peak_ = 0;
   bool stop_ = false;
+  /// Latches true once any submitted request carries a fault plan (or
+  /// degrade flag); only then does rollup_json() emit the per-outcome counts
+  /// and per-session outcome/fault fields — fault-free engines export
+  /// byte-identically to the pre-fault-layer golden.
+  bool fault_aware_ = false;
 
   std::mutex group_mu_;
   std::map<group::GroupId, std::unique_ptr<group::Group>> groups_;

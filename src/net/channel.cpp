@@ -1,6 +1,8 @@
 #include "net/channel.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ppgr::net {
 
@@ -12,6 +14,10 @@ Topology complete_graph(std::size_t nodes) {
   for (std::size_t a = 0; a < nodes; ++a)
     for (std::size_t b = a + 1; b < nodes; ++b) edges.push_back(Edge{a, b});
   return Topology{nodes, std::move(edges)};
+}
+
+std::string link_str(std::size_t src, std::size_t dst) {
+  return "P" + std::to_string(src) + "->P" + std::to_string(dst);
 }
 
 }  // namespace
@@ -43,19 +49,47 @@ Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
   for (const std::size_t node : node_of_)
     if (node >= topo_->nodes())
       throw std::invalid_argument("Router: node_of entry out of range");
+  // A disabled plan is indistinguishable from no plan: every fault branch
+  // below keys off faults_ != nullptr.
+  if (cfg.faults != nullptr && cfg.faults->enabled()) {
+    faults_ = cfg.faults;
+    deadline_s_ = faults_->effective_deadline(cfg.sim.latency_s);
+    dead_.assign(parties_, 0);
+    tx_seq_.assign(parties_ * parties_, 0);
+    rx_seq_.assign(parties_ * parties_, 0);
+    msg_ctr_.assign(parties_ * parties_, 0);
+    failures_.resize(parties_ * parties_);
+  }
 }
 
 void Router::set_phase(runtime::Phase p) {
   if (comm_ != nullptr) comm_->set_phase(p);
+  phase_ = p;
+  if (faults_ == nullptr) return;
+  for (const std::size_t party : faults_->crashes_at(p)) {
+    if (party >= parties_ || dead_[party] != 0) continue;
+    dead_[party] = 1;
+    stats_.injected[static_cast<std::size_t>(FaultKind::kCrash)]++;
+    events_.push_back(FaultEvent{FaultKind::kCrash, round_index_, party,
+                                 party, 0});
+  }
 }
 
-void Router::account(std::size_t src, std::size_t dst, std::size_t bytes) {
+void Router::note(FaultKind kind, std::size_t src, std::size_t dst,
+                  std::size_t attempt) {
+  stats_.injected[static_cast<std::size_t>(kind)]++;
+  events_.push_back(FaultEvent{kind, round_index_, src, dst, attempt});
+}
+
+void Router::account(std::size_t src, std::size_t dst, std::size_t bytes,
+                     double extra_delay_s) {
   if (src >= parties_ || dst >= parties_)
     throw std::invalid_argument("Router: party id out of range");
   trace_.record(src, dst, bytes);
   if (comm_ != nullptr) {
     comm_->record(src, dst, bytes);
     round_.push_back(runtime::Transfer{0, src, dst, bytes});
+    if (faults_ != nullptr) round_extra_.push_back(extra_delay_s);
   }
 }
 
@@ -67,9 +101,115 @@ Router::mailbox(std::size_t src, std::size_t dst) {
 void Router::send(std::size_t src, std::size_t dst,
                   std::shared_ptr<const std::vector<std::uint8_t>> payload) {
   if (payload == nullptr) throw std::invalid_argument("Router: null payload");
+  if (faults_ != nullptr) {
+    faulted_send(src, dst, std::move(payload));
+    return;
+  }
   account(src, dst, payload->size());
   mailbox(src, dst).push_back(std::move(payload));
   ++pending_;
+}
+
+void Router::faulted_send(
+    std::size_t src, std::size_t dst,
+    std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+  if (src >= parties_ || dst >= parties_)
+    throw std::invalid_argument("Router: party id out of range");
+  const std::size_t link = src * parties_ + dst;
+  // A crashed sender is silent: its peers discover the crash when their
+  // receive finds nothing on the link (ChannelError kPeerDead).
+  if (dead_[src] != 0) return;
+  const std::uint32_t seq = tx_seq_[link]++;
+  const std::uint32_t msg = msg_ctr_[link]++;
+  auto& box = mailbox(src, dst);
+  if (dead_[dst] != 0) {
+    // The wire still carries the bytes; nobody acknowledges them.
+    account(src, dst, kFrameHeaderBytes + payload->size());
+    failures_[link].push_back(
+        FailedSend{seq, ChannelErrorKind::kPeerDead, round_index_});
+    return;
+  }
+  const std::size_t framed_bytes = kFrameHeaderBytes + payload->size();
+  double elapsed_s = 0.0;
+  double backoff_s = faults_->config().backoff_base_s;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const FaultDecision d =
+        faults_->decide(phase_, round_index_, src, dst, msg, attempt);
+    if (attempt > 0) stats_.retransmits++;
+    if (d.drop || d.corrupt) {
+      // The attempt consumed wire bytes either way; a corrupted frame also
+      // reaches the mailbox, where the receiver's CRC check discards it.
+      account(src, dst, framed_bytes, d.delay ? faults_->config().delay_spike_s
+                                              : 0.0);
+      if (d.delay) note(FaultKind::kDelay, src, dst, attempt);
+      if (d.drop) {
+        note(FaultKind::kDrop, src, dst, attempt);
+      } else {
+        note(FaultKind::kCorrupt, src, dst, attempt);
+        std::vector<std::uint8_t> framed = encode_frame(seq, *payload);
+        const std::size_t bits = payload->size() * 8;
+        if (bits > 0) {
+          const std::size_t bit = d.flip_bit % bits;
+          framed[kFrameHeaderBytes + bit / 8] ^=
+              static_cast<std::uint8_t>(1u << (bit % 8));
+        } else {
+          framed[8] ^= 1u;  // no payload bits: break the CRC field itself
+        }
+        box.push_back(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(framed)));
+        ++pending_;
+      }
+      // Ladder advance: one simulated round trip (the receiver's missing
+      // ack) plus the exponential backoff before the retransmit.
+      elapsed_s += 2.0 * sim_.config().latency_s;
+      if (attempt >= faults_->config().max_retries) {
+        stats_.giveups++;
+        failures_[link].push_back(
+            FailedSend{seq, ChannelErrorKind::kGiveUp, round_index_});
+        return;
+      }
+      elapsed_s += backoff_s;
+      backoff_s *= 2.0;
+      if (elapsed_s > deadline_s_) {
+        stats_.timeouts++;
+        failures_[link].push_back(
+            FailedSend{seq, ChannelErrorKind::kTimeout, round_index_});
+        return;
+      }
+      continue;
+    }
+    // Delivered attempt (possibly tampered / duplicated / reordered /
+    // delayed).
+    std::vector<std::uint8_t> framed;
+    if (d.tamper && !payload->empty()) {
+      std::vector<std::uint8_t> bad = *payload;
+      const std::size_t bit = d.flip_bit % (bad.size() * 8);
+      bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      framed = encode_frame(seq, bad);  // CRC recomputed: undetectable
+      note(FaultKind::kTamper, src, dst, attempt);
+    } else {
+      framed = encode_frame(seq, *payload);
+    }
+    const double extra =
+        d.delay ? faults_->config().delay_spike_s : 0.0;
+    if (d.delay) note(FaultKind::kDelay, src, dst, attempt);
+    account(src, dst, framed.size(), extra);
+    auto frame_ptr =
+        std::make_shared<const std::vector<std::uint8_t>>(std::move(framed));
+    box.push_back(frame_ptr);
+    ++pending_;
+    if (d.duplicate) {
+      note(FaultKind::kDuplicate, src, dst, attempt);
+      account(src, dst, frame_ptr->size(), extra);
+      box.push_back(frame_ptr);
+      ++pending_;
+    }
+    if (d.reorder && box.size() >= 2) {
+      note(FaultKind::kReorder, src, dst, attempt);
+      std::swap(box[box.size() - 1], box[box.size() - 2]);
+    }
+    return;
+  }
 }
 
 void Router::send(std::size_t src, std::size_t dst,
@@ -79,6 +219,20 @@ void Router::send(std::size_t src, std::size_t dst,
 }
 
 void Router::transmit(std::size_t src, std::size_t dst, std::size_t bytes) {
+  if (faults_ != nullptr) {
+    if (src < parties_ && dead_[src] != 0) return;  // crashed sender: silent
+    if (src < parties_ && dst < parties_) {
+      const FaultDecision d = faults_->decide(
+          phase_, round_index_, src, dst, msg_ctr_[src * parties_ + dst]++, 0);
+      // Accounting-only messages have no retained payload to lose or
+      // corrupt; only the delay spike applies.
+      if (d.delay) {
+        note(FaultKind::kDelay, src, dst, 0);
+        account(src, dst, bytes, faults_->config().delay_spike_s);
+        return;
+      }
+    }
+  }
   account(src, dst, bytes);
 }
 
@@ -97,6 +251,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::receive(
     std::size_t src, std::size_t dst) {
   if (src >= parties_ || dst >= parties_)
     throw std::invalid_argument("Router: party id out of range");
+  if (faults_ != nullptr) return faulted_receive(src, dst);
   auto& box = mailbox(src, dst);
   if (box.empty())
     throw std::logic_error("Router::receive: mailbox empty");
@@ -106,15 +261,143 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::receive(
   return payload;
 }
 
+std::shared_ptr<const std::vector<std::uint8_t>> Router::faulted_receive(
+    std::size_t src, std::size_t dst) {
+  const std::size_t link = src * parties_ + dst;
+  auto& box = mailbox(src, dst);
+  const std::uint32_t want = rx_seq_[link];
+  // A permanently failed send consumes its sequence slot with a typed
+  // error, so later messages on the link keep their ordering.
+  if (!failures_[link].empty() && failures_[link].front().seq == want) {
+    const FailedSend failed = failures_[link].front();
+    failures_[link].pop_front();
+    rx_seq_[link] = want + 1;
+    throw ChannelError(
+        failed.kind, src, dst, failed.round,
+        "Router::receive: " + link_str(src, dst) + " message #" +
+            std::to_string(want) + " lost (" + to_string(failed.kind) +
+            (failed.kind == ChannelErrorKind::kPeerDead
+                 ? ": peer crashed)"
+                 : ", retransmit budget/deadline exhausted)"));
+  }
+  // Scan the mailbox for the expected sequence number, discarding CRC
+  // rejects and stale duplicates, skipping (and preserving) frames from the
+  // future.
+  std::size_t skipped_future = 0;
+  for (std::size_t i = 0; i < box.size();) {
+    Frame frame = decode_frame(*box[i]);
+    if (!frame.crc_ok) {
+      stats_.crc_detected++;
+      box.erase(box.begin() + static_cast<std::ptrdiff_t>(i));
+      --pending_;
+      continue;
+    }
+    if (frame.seq < want) {
+      stats_.duplicates_dropped++;
+      box.erase(box.begin() + static_cast<std::ptrdiff_t>(i));
+      --pending_;
+      continue;
+    }
+    if (frame.seq > want) {
+      ++skipped_future;
+      ++i;
+      continue;
+    }
+    // Found it. Healing a reorder means it was not the first live frame.
+    if (skipped_future > 0) stats_.reorders_healed++;
+    box.erase(box.begin() + static_cast<std::ptrdiff_t>(i));
+    --pending_;
+    rx_seq_[link] = want + 1;
+    // Purge trailing duplicates of this (or earlier) messages so a healed
+    // run still drains to pending() == 0.
+    for (std::size_t j = 0; j < box.size();) {
+      const Frame f = decode_frame(*box[j]);
+      if (f.crc_ok && f.seq > want) {
+        ++j;
+        continue;
+      }
+      if (f.crc_ok) stats_.duplicates_dropped++;
+      else stats_.crc_detected++;
+      box.erase(box.begin() + static_cast<std::ptrdiff_t>(j));
+      --pending_;
+    }
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(frame.payload));
+  }
+  if (dead_[src] != 0)
+    throw ChannelError(ChannelErrorKind::kPeerDead, src, dst, round_index_,
+                       "Router::receive: " + link_str(src, dst) +
+                           " peer P" + std::to_string(src) + " crashed");
+  throw std::logic_error("Router::receive: mailbox empty");
+}
+
 void Router::next_round() {
   if (comm_ != nullptr) {
-    const auto detail = sim_.replay_detailed(round_, node_of_);
-    comm_->close_round(detail.timings, detail.summary.total_seconds);
+    auto detail = sim_.replay_detailed(round_, node_of_);
+    double round_seconds = detail.summary.total_seconds;
+    if (faults_ != nullptr) {
+      // Injected delay spikes stretch the affected flows' delivery (and the
+      // round, if they finish last). The extra time is queueing from the
+      // flow's perspective, so the deliver - send == tx + prop + queue
+      // invariant is preserved.
+      for (std::size_t i = 0; i < detail.timings.size(); ++i) {
+        if (round_extra_[i] <= 0.0) continue;
+        detail.timings[i].deliver_s += round_extra_[i];
+        detail.timings[i].queue_s += round_extra_[i];
+        round_seconds = std::max(round_seconds, detail.timings[i].deliver_s);
+      }
+      round_extra_.clear();
+    }
+    comm_->close_round(detail.timings, round_seconds);
     round_.clear();
+    if (faults_ != nullptr) {
+      runtime::FaultCounters fc;
+      fc.injected_drop = stats_.injected[static_cast<std::size_t>(FaultKind::kDrop)];
+      fc.injected_duplicate =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kDuplicate)];
+      fc.injected_reorder =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kReorder)];
+      fc.injected_corrupt =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kCorrupt)];
+      fc.injected_tamper =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kTamper)];
+      fc.injected_delay =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kDelay)];
+      fc.injected_crash =
+          stats_.injected[static_cast<std::size_t>(FaultKind::kCrash)];
+      fc.retransmits = stats_.retransmits;
+      fc.crc_detected = stats_.crc_detected;
+      fc.duplicates_dropped = stats_.duplicates_dropped;
+      fc.reorders_healed = stats_.reorders_healed;
+      fc.timeouts = stats_.timeouts;
+      fc.giveups = stats_.giveups;
+      comm_->set_fault_counters(fc);
+    }
   }
   trace_.next_round();
+  ++round_index_;
 }
 
 std::size_t Router::pending() const { return pending_; }
+
+bool Router::party_dead(std::size_t p) const {
+  return faults_ != nullptr && p < parties_ && dead_[p] != 0;
+}
+
+std::vector<std::size_t> Router::dead_parties() const {
+  std::vector<std::size_t> out;
+  if (faults_ == nullptr) return out;
+  for (std::size_t p = 0; p < parties_; ++p)
+    if (dead_[p] != 0) out.push_back(p);
+  return out;
+}
+
+FaultReport Router::fault_report() const {
+  FaultReport report;
+  if (faults_ != nullptr) report.plan = faults_->config();
+  report.stats = stats_;
+  report.events = events_;
+  return report;
+}
 
 }  // namespace ppgr::net

@@ -24,6 +24,20 @@
 // per-task runtime::CommBuffers and the orchestrator absorbs them in
 // task-index order (absorb()), so the flow sequence is schedule-independent.
 //
+// Fault injection (DESIGN.md Sec. 7): constructed with a net::FaultPlan the
+// router wraps every payload send in a sequenced CRC32 frame and resolves a
+// deterministic retry ladder per message — dropped or CRC-rejected attempts
+// are retransmitted with exponential backoff until the plan's retry budget
+// or virtual deadline runs out, duplicates are discarded and reorders
+// healed by sequence number on receive, tampered frames (CRC fixed up)
+// deliver and surface at the protocol layer, crash points mute a party from
+// a phase onward, and a permanently undeliverable message turns the
+// matching receive() into a typed net::ChannelError. All injection happens
+// at this serial choke point, keyed by counter-seeded streams, so the fault
+// schedule is bit-identical at any --parallelism. Without a plan every
+// fault branch is skipped and the wire format, byte accounting and exports
+// are unchanged.
+//
 // The default topology is the complete graph over the parties (party p on
 // node p) with the simulator's stock 2 Mbps / 50 ms links: every pair is
 // directly connected, so virtual times reflect per-link serialization and
@@ -36,6 +50,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/simulator.h"
 #include "net/topology.h"
 #include "runtime/comm.h"
@@ -55,6 +70,9 @@ class Router {
     /// complete graph with party p on node p.
     const Topology* topo = nullptr;
     std::vector<std::size_t> node_of{};
+    /// Optional fault schedule; must outlive the router. A null or disabled
+    /// plan leaves the router's behavior (and wire bytes) untouched.
+    const FaultPlan* faults = nullptr;
   };
 
   /// `trace` must outlive the router; `comm` may be null (byte accounting
@@ -66,11 +84,15 @@ class Router {
 
   [[nodiscard]] std::size_t parties() const { return parties_; }
 
-  /// Forwards the attribution phase to the comm registry (no-op without one).
+  /// Forwards the attribution phase to the comm registry (no-op without
+  /// one) and, under a fault plan, activates the crash points scheduled for
+  /// this phase.
   void set_phase(runtime::Phase p);
 
   /// Serialized send: accounts payload->size() bytes on (src, dst) and
   /// enqueues the payload for receive(). Broadcasts share one payload.
+  /// Under a fault plan the payload travels in a CRC32 frame and the whole
+  /// retry ladder is resolved here (see the header comment).
   void send(std::size_t src, std::size_t dst,
             std::shared_ptr<const std::vector<std::uint8_t>> payload);
   void send(std::size_t src, std::size_t dst, std::vector<std::uint8_t> bytes);
@@ -81,7 +103,10 @@ class Router {
   void absorb(runtime::CommBuffer& buf);
 
   /// Pops the oldest pending payload on (src, dst). Throws std::logic_error
-  /// when the mailbox is empty.
+  /// when the mailbox is empty. Under a fault plan: discards duplicates and
+  /// CRC-rejected frames, heals reorders by sequence number, and throws a
+  /// typed ChannelError when the awaited message permanently failed
+  /// (timeout / retries exhausted / peer crashed).
   [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> receive(
       std::size_t src, std::size_t dst);
 
@@ -95,10 +120,34 @@ class Router {
 
   [[nodiscard]] Channel channel(std::size_t src, std::size_t dst);
 
+  // Fault-plan introspection (all cheap; meaningful only with a plan).
+  [[nodiscard]] bool fault_active() const { return faults_ != nullptr; }
+  [[nodiscard]] bool party_dead(std::size_t p) const;
+  /// Crashed parties, ascending.
+  [[nodiscard]] std::vector<std::size_t> dead_parties() const;
+  /// Rounds closed so far (the fault schedule's round coordinate).
+  [[nodiscard]] std::size_t round_index() const { return round_index_; }
+  /// Plan echo + counters + injection event log ("ppgr.fault.v1"). Empty
+  /// default report when no plan is installed.
+  [[nodiscard]] FaultReport fault_report() const;
+
  private:
-  void account(std::size_t src, std::size_t dst, std::size_t bytes);
+  struct FailedSend {
+    std::uint32_t seq = 0;
+    ChannelErrorKind kind = ChannelErrorKind::kGiveUp;
+    std::size_t round = 0;
+  };
+
+  void account(std::size_t src, std::size_t dst, std::size_t bytes,
+               double extra_delay_s = 0.0);
   [[nodiscard]] std::deque<std::shared_ptr<const std::vector<std::uint8_t>>>&
   mailbox(std::size_t src, std::size_t dst);
+  void faulted_send(std::size_t src, std::size_t dst,
+                    std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
+  faulted_receive(std::size_t src, std::size_t dst);
+  void note(FaultKind kind, std::size_t src, std::size_t dst,
+            std::size_t attempt);
 
   std::size_t parties_;
   runtime::TraceRecorder& trace_;
@@ -111,6 +160,20 @@ class Router {
       mailboxes_;
   std::vector<runtime::Transfer> round_;  // current round, for the simulator
   std::size_t pending_ = 0;
+
+  // Fault-plan state (inert when faults_ == nullptr).
+  const FaultPlan* faults_ = nullptr;
+  double deadline_s_ = 0.0;
+  runtime::Phase phase_ = runtime::Phase::kSetup;
+  std::size_t round_index_ = 0;
+  std::vector<char> dead_;
+  std::vector<std::uint32_t> tx_seq_;   // per link: next frame sequence
+  std::vector<std::uint32_t> rx_seq_;   // per link: next expected sequence
+  std::vector<std::uint32_t> msg_ctr_;  // per link: fault-schedule msg index
+  std::vector<std::deque<FailedSend>> failures_;
+  std::vector<double> round_extra_;  // per round_ entry: injected delay
+  FaultStats stats_;
+  std::vector<FaultEvent> events_;
 };
 
 /// Lightweight directed (src -> dst) handle onto a Router — what protocol

@@ -1,0 +1,248 @@
+// Deterministic fault injection and the channel failure model.
+//
+// net::FaultPlan is a seeded schedule of transport faults the Router
+// consults on every message: drop, duplicate, reorder-within-round,
+// bit-corrupt (detected by the CRC32 frame check), tamper (adversarial:
+// payload corrupted AND the CRC recomputed, so the channel cannot detect it
+// and the damage surfaces at the protocol layer as a decode/verify
+// failure), delay-spike, and party-crash-at-phase. Every decision is a pure
+// function of (seed, kind, round, src, dst, message-index, attempt) via
+// mpz::StreamFamily counter-seeded streams — never of wall clock, thread
+// schedule or prior decisions — so the same seed produces a bit-identical
+// fault schedule at any --parallelism (all injection happens at the
+// Router's serial choke point; see DESIGN.md §7 "Failure model").
+//
+// Recovery semantics live in the Router (net/channel.h): with a plan
+// installed every payload send is wrapped in a sequenced CRC32 frame,
+// dropped/corrupted attempts are retransmitted with deterministic
+// exponential backoff up to a retry/deadline budget, duplicates are
+// discarded and reorders healed by sequence number on the receive path, and
+// an undeliverable message surfaces as a typed net::ChannelError — never as
+// undefined behavior or a hang. Without a plan the fault layer is a strict
+// no-op: no framing, no extra bytes, bit-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpz/rng.h"
+#include "runtime/metrics.h"
+
+namespace ppgr::net {
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,
+  kDuplicate = 1,
+  kReorder = 2,
+  kCorrupt = 3,
+  kTamper = 4,
+  kDelay = 5,
+  kCrash = 6,
+};
+inline constexpr std::size_t kFaultKindCount = 7;
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One injected fault occurrence, in injection order (exported in the
+/// "ppgr.fault.v1" report). For kCrash, src == dst == the crashed party.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrop;
+  std::size_t round = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t attempt = 0;  // transmission attempt the fault hit (0-based)
+};
+
+/// A scheduled party crash: the party goes silent at the start of `phase`
+/// (its sends are suppressed; peers that wait on it see a typed
+/// ChannelError with kind kPeerDead).
+struct CrashPoint {
+  std::size_t party = 0;
+  runtime::Phase phase = runtime::Phase::kPhase1;
+};
+
+/// Seeded fault schedule + channel recovery policy. Probabilities are per
+/// transmission attempt of a payload-carrying message; accounting-only
+/// transmits are subject to delay spikes only (their content is handed
+/// over out-of-band, so there is nothing to lose or corrupt).
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;  // detected: CRC mismatch -> discard + retransmit
+  double tamper = 0.0;   // undetected: CRC fixed up -> protocol-layer fault
+  double delay = 0.0;    // extra virtual delay on delivery
+  double delay_spike_s = 0.5;
+  /// Restrict probabilistic injection to one protocol phase (1, 2 or 3);
+  /// 0 = all phases. Crash points carry their own phase.
+  int only_phase = 0;
+  std::vector<CrashPoint> crashes;
+
+  // Channel recovery policy (consumed by the Router).
+  std::size_t max_retries = 3;    // retransmit attempts after the first send
+  double backoff_base_s = 0.05;   // doubles per retry (deterministic)
+  /// Per-send virtual deadline; 0 = derived from the simulator's replay
+  /// timing parameters (see FaultPlan::effective_deadline).
+  double deadline_s = 0.0;
+
+  /// True when the plan can inject anything at all. A Router given a
+  /// disabled plan behaves exactly like one given no plan.
+  [[nodiscard]] bool enabled() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           tamper > 0 || delay > 0 || !crashes.empty();
+  }
+};
+
+/// Parses a plan spec string of comma-separated directives, e.g.
+///   "seed=7,drop=0.05,corrupt=0.01,crash=3@2,retries=4,phase=2"
+/// Keys: seed, drop, duplicate, reorder, corrupt, tamper, delay (probability
+/// in [0,1]), delay_s (spike seconds), phase (1|2|3, 0=all), retries,
+/// backoff (seconds), deadline (seconds), crash=<party>@<phase>
+/// (repeatable). Throws std::invalid_argument on malformed input.
+[[nodiscard]] FaultPlanConfig parse_fault_plan(const std::string& spec);
+
+/// Per-attempt injection decision (all draws made even when a higher-
+/// precedence fault fires, so the schedule for one message never depends on
+/// another message's outcome).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  bool corrupt = false;
+  bool tamper = false;
+  bool delay = false;
+  /// Raw entropy for corrupt/tamper; the Router reduces it modulo the
+  /// payload bit count to pick the bit to flip.
+  std::size_t flip_bit = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig cfg);
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return cfg_; }
+  [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
+  /// Probabilistic injection applies in `phase`?
+  [[nodiscard]] bool active_in(runtime::Phase phase) const;
+
+  /// Pure function of (seed, kind, round, src, dst, msg_index, attempt).
+  [[nodiscard]] FaultDecision decide(runtime::Phase phase, std::size_t round,
+                                     std::size_t src, std::size_t dst,
+                                     std::size_t msg_index,
+                                     std::size_t attempt) const;
+
+  /// Parties whose crash point is exactly `phase` (activated by the Router
+  /// at the phase transition).
+  [[nodiscard]] std::vector<std::size_t> crashes_at(
+      runtime::Phase phase) const;
+
+  /// The per-send virtual deadline: the configured value, or — when 0 — a
+  /// value derived from the simulator's replay timing (one round trip per
+  /// allowed attempt plus the full backoff ladder).
+  [[nodiscard]] double effective_deadline(double link_latency_s) const;
+
+ private:
+  FaultPlanConfig cfg_;
+  mpz::StreamFamily family_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed channel failures.
+
+enum class ChannelErrorKind : std::uint8_t {
+  kBadFrame = 0,  // truncated / over-long / malformed frame encoding
+  kTimeout = 1,   // per-send deadline exceeded
+  kGiveUp = 2,    // retransmit budget exhausted
+  kPeerDead = 3,  // counterpart crashed (or its message was suppressed)
+};
+[[nodiscard]] const char* to_string(ChannelErrorKind kind);
+
+/// Every transport-level failure the Router can surface. Protocol code
+/// converts these into core::ProtocolFault with phase context attached.
+class ChannelError : public std::runtime_error {
+ public:
+  ChannelError(ChannelErrorKind kind, std::size_t src, std::size_t dst,
+               std::size_t round, const std::string& what)
+      : std::runtime_error(what),
+        kind_(kind),
+        src_(src),
+        dst_(dst),
+        round_(round) {}
+
+  [[nodiscard]] ChannelErrorKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t src() const { return src_; }
+  [[nodiscard]] std::size_t dst() const { return dst_; }
+  [[nodiscard]] std::size_t round() const { return round_; }
+
+ private:
+  ChannelErrorKind kind_;
+  std::size_t src_;
+  std::size_t dst_;
+  std::size_t round_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC32 frame codec (active only when a fault plan is installed).
+//
+// Frame layout (12-byte header + payload):
+//   u32 total length (header + payload)  -- self-describing: decode rejects
+//   u32 sequence number (per link)          truncated or over-long buffers
+//   u32 CRC32 (IEEE) of the payload         with a typed error
+// All integers little-endian.
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::uint32_t seq, std::span<const std::uint8_t> payload);
+
+struct Frame {
+  std::uint32_t seq = 0;
+  bool crc_ok = false;  // payload intact? (corruption is detected, not UB)
+  std::vector<std::uint8_t> payload;
+};
+
+/// Throws ChannelError(kBadFrame) when `bytes` is shorter than the header
+/// or its length field disagrees with the buffer size (truncated or
+/// over-long frame). A CRC mismatch is NOT an exception — the receiver
+/// discards and waits for the retransmit — so it is reported via `crc_ok`.
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Fault report ("ppgr.fault.v1").
+
+struct FaultStats {
+  std::uint64_t injected[kFaultKindCount] = {};
+  std::uint64_t retransmits = 0;         // retry attempts made
+  std::uint64_t crc_detected = 0;        // receiver-side CRC rejections
+  std::uint64_t duplicates_dropped = 0;  // receiver-side dedup discards
+  std::uint64_t reorders_healed = 0;     // expected seq found out of order
+  std::uint64_t timeouts = 0;            // sends abandoned by the deadline
+  std::uint64_t giveups = 0;             // sends abandoned, retries spent
+
+  [[nodiscard]] std::uint64_t injected_total() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t v : injected) t += v;
+    return t;
+  }
+};
+
+/// Everything one Router observed under a fault plan; attached to
+/// FrameworkResult::faults and exported as JSON.
+struct FaultReport {
+  FaultPlanConfig plan;
+  FaultStats stats;
+  std::vector<FaultEvent> events;
+
+  /// Deterministic JSON document, schema "ppgr.fault.v1": the plan echo,
+  /// the counters and the full injection event log.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace ppgr::net

@@ -3,8 +3,11 @@
 // agreement between codec sizes and the trace byte-accounting formulas.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/codec.h"
 #include "crypto/codec.h"
+#include "net/fault.h"
 #include "runtime/wire.h"
 
 namespace ppgr {
@@ -431,6 +434,71 @@ TEST(CodecBoundary, MaxWidthNatRoundTrip) {
   w2.bytes(padded);
   Reader r2{w2.data()};
   EXPECT_THROW((void)r2.nat(), WireError);
+}
+
+// ---- Fault-layer frame codec hardening ----
+// The CRC32 frame that carries payloads under a fault plan sits below the
+// message codecs above; its decoder must hold the same line they do — a
+// malformed buffer is a typed error, never UB or a silent wrong answer.
+
+TEST(FrameFuzz, RandomTruncationPointsAreTypedErrors) {
+  ChaChaRng rng{2024};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len = 1 + rng.below_u64(96);
+    std::vector<std::uint8_t> payload(len);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below_u64(256));
+    const std::vector<std::uint8_t> framed =
+        net::encode_frame(static_cast<std::uint32_t>(iter), payload);
+
+    const std::size_t cut = rng.below_u64(framed.size());  // < full length
+    std::vector<std::uint8_t> chopped(
+        framed.begin(), framed.begin() + static_cast<long>(cut));
+    try {
+      (void)net::decode_frame(chopped);
+      FAIL() << "iter " << iter << ": truncation to " << cut
+             << " of " << framed.size() << " bytes not rejected";
+    } catch (const net::ChannelError& e) {
+      EXPECT_EQ(e.kind(), net::ChannelErrorKind::kBadFrame);
+    }
+  }
+}
+
+TEST(FrameFuzz, RandomGarbageNeverEscapesTyped) {
+  // Arbitrary byte soup must either decode (with crc_ok telling the truth)
+  // or throw the typed bad-frame error; any other exception fails the test.
+  ChaChaRng rng{2025};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::uint8_t> soup(rng.below_u64(64));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.below_u64(256));
+    try {
+      const net::Frame f = net::decode_frame(soup);
+      // Decoded: the length field agreed with the buffer. A random 32-bit
+      // CRC almost never matches, but either value is legal here.
+      EXPECT_EQ(f.payload.size(), soup.size() - net::kFrameHeaderBytes);
+    } catch (const net::ChannelError& e) {
+      EXPECT_EQ(e.kind(), net::ChannelErrorKind::kBadFrame);
+    }
+  }
+}
+
+TEST(FrameFuzz, BitFlipsNeverForgeACleanFrame) {
+  ChaChaRng rng{2026};
+  std::vector<std::uint8_t> payload(32);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below_u64(256));
+  const std::vector<std::uint8_t> framed = net::encode_frame(9, payload);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> bad = framed;
+    // Flip 1-3 DISTINCT payload bits (a repeated flip would cancel out):
+    // CRC32's minimum distance catches every such error at this length.
+    std::set<std::size_t> bits;
+    const std::size_t flips = 1 + rng.below_u64(3);
+    while (bits.size() < flips) bits.insert(rng.below_u64(payload.size() * 8));
+    for (const std::size_t bit : bits)
+      bad[net::kFrameHeaderBytes + bit / 8] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+    const net::Frame f = net::decode_frame(bad);
+    EXPECT_FALSE(f.crc_ok) << "iter " << iter;
+  }
 }
 
 }  // namespace
