@@ -21,7 +21,9 @@ Leaves are classified by key:
     exactly. Fault-injection/recovery counters ("ppgr.fault.v1", the
     comm "faults" block, engine outcome rollups) are likewise seeded and
     deterministic, and are forced into the exact class even when a noisy
-    substring (e.g. "latency") would otherwise match;
+    substring (e.g. "latency") would otherwise match; so are the accel_*
+    multi-exponentiation counters — they count algorithm invocations, not
+    time, and must never drift silently;
   - every other numeric leaf (operation counts, cache hit/miss counts,
     message counts, byte totals, rounds, parameters) is deterministic by
     construction, so any drift at all is a FAIL: the protocol, the codecs
@@ -54,6 +56,7 @@ NOISY_KEY_PARTS = (
 # would otherwise classify them as noisy (e.g. the injected-delay counter
 # lives next to latency keys). Checked before the noisy classification.
 EXACT_KEY_PARTS = (
+    "accel",  # accel_* multi-exp/fixed-base/batch-inverse counters
     "injected",  # injected_drop/.../injected_crash/injected_total
     "retransmits",
     "crc_detected",

@@ -26,6 +26,12 @@
 # sessions vs bit-identical survivors over a shared precompute cache) runs
 # under TSan, since session isolation is a concurrency property.
 #
+# The `multiexp` mode is the multi-exponentiation crypto leg: the
+# differential suite (Straus/Pippenger/fixed-base vs naive Group::exp on
+# every group family), the batched-inversion KATs and the accel-on vs
+# accel-off bit-identity test run under ASan+UBSan — index arithmetic over
+# window digits and bucket arrays is exactly the surface ASan watches.
+#
 # The `bench-regress` mode is the perf-regression gate: it reruns the
 # parallel_speedup and engine_throughput benches with the checked-in
 # baselines' exact configurations and compares both fresh reports against
@@ -37,7 +43,7 @@
 #   ./build/bench/parallel_speedup --out BENCH_parallel.json
 #   ./build/bench/engine_throughput --out BENCH_engine.json
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|bench-regress|all]
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,6 +87,7 @@ case "${MODE}" in
     run_leg asan -R '^fault_test$|chaos_test|wire_test|security_test'
     run_leg tsan -R 'engine_fault'
     ;;
+  multiexp) run_leg asan -R 'multiexp|batch_inverse|parallel_determinism' ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
@@ -90,7 +97,7 @@ case "${MODE}" in
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|bench-regress|all]" >&2
     exit 2
     ;;
 esac

@@ -60,6 +60,12 @@ HeCounts count_he_framework(const ProblemSpec& spec, std::size_t n,
   // count the same interface-level operations, so bench/validate_model can
   // assert they agree exactly.
   cfg.metrics = true;
+  // This is the reference count: run the naive (unaccelerated) protocol so
+  // the CountingGroup sees the logical op profile that accelerated runs
+  // credit against. With accel on the CountingGroup would instead record
+  // the multi-exp call shapes and the cross-check would no longer define
+  // the invariant.
+  cfg.accel = false;
 
   const Instance inst = random_instance(spec, n, seed);
   mpz::ChaChaRng rng{seed + 1};

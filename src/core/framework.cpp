@@ -1,6 +1,7 @@
 #include "core/framework.h"
 
 #include <algorithm>
+#include <array>
 #include <iterator>
 #include <stdexcept>
 
@@ -8,6 +9,7 @@
 #include "crypto/codec.h"
 #include "group/accel_group.h"
 #include "group/metered_group.h"
+#include "group/multi_exp.h"
 #include "net/channel.h"
 #include "runtime/thread_pool.h"
 #include "runtime/wire.h"
@@ -256,6 +258,22 @@ Ciphertext Participant::encrypt_beta_bit(std::size_t b, Rng& rng) const {
                      beta_.bit(b) ? Nat{1} : Nat{}, rng);
 }
 
+Ciphertext Participant::encrypt_beta_bit(std::size_t b, Rng& rng,
+                                         const crypto::ZeroPool* pool,
+                                         std::size_t pool_offset) const {
+  if (pool != nullptr)
+    return crypto::encrypt_exp_with(*cfg_.group,
+                                    pool->entries.at(pool_offset + b),
+                                    beta_.bit(b) ? Nat{1} : Nat{});
+  return encrypt_beta_bit(b, rng);
+}
+
+void Participant::set_accel_context(
+    const Group* fast, std::shared_ptr<const group::FixedBaseTable> key_table) {
+  fast_ = fast;
+  key_table_ = std::move(key_table);
+}
+
 std::vector<Ciphertext> Participant::encrypt_beta_bits(Rng& rng) {
   const std::size_t l = cfg_.spec.beta_bits();
   std::vector<Ciphertext> out;
@@ -267,6 +285,8 @@ std::vector<Ciphertext> Participant::encrypt_beta_bits(Rng& rng) {
 std::vector<Ciphertext> Participant::compare_against(
     const std::vector<Ciphertext>& peer_bits, Rng& rng,
     const crypto::ZeroPool* pool, std::size_t pool_offset) const {
+  if (fast_ != nullptr)
+    return compare_against_accel(peer_bits, rng, pool, pool_offset);
   const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kCompareCircuit);
   const Group& g = *cfg_.group;
   const std::size_t l = cfg_.spec.beta_bits();
@@ -317,7 +337,103 @@ std::vector<Ciphertext> Participant::compare_against(
   return tau;
 }
 
+// Accelerated comparison circuit (FrameworkConfig::accel): same algebra as
+// compare_against above, evaluated through group::multi_exp fusions and the
+// joint-key window table on the undecorated group `*fast_`. Every output
+// ciphertext is value-identical to the naive evaluation (for groups with a
+// unique element representation — Schnorr, mock — bit-identical in memory;
+// for EC only the Jacobian representative may differ, which serialization
+// canonicalizes away), and the same randomness is drawn in the same order.
+// Because the metering decorator never sees this path, it ends by crediting
+// the exact interface-level op counts the naive evaluation reports:
+//
+//   naive, per circuit over l bits with pop = popcount(own β bits):
+//     kGroupExp   3l + 2·pop   (2l with a pool: the re-randomizations'
+//                               y^r exponentiations disappear)
+//     kGroupExpG  2l + 2·pop   (l + 2·pop with a pool)
+//     kGroupMul   7l + 2·pop
+//
+// The kCompareCircuit / kElGamalRerandomize timers stay in place, so their
+// tallies and histogram sample counts are identical too. Only the accel_*
+// counters (bumped by multi_exp and the key-table hits) differ from an
+// unaccelerated run.
+std::vector<Ciphertext> Participant::compare_against_accel(
+    const std::vector<Ciphertext>& peer_bits, Rng& rng,
+    const crypto::ZeroPool* pool, std::size_t pool_offset) const {
+  const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kCompareCircuit);
+  const Group& f = *fast_;
+  const std::size_t l = cfg_.spec.beta_bits();
+  if (peer_bits.size() != l)
+    throw std::invalid_argument("compare_against: wrong bit count");
+
+  // γ_b = own_b XOR peer_b. The complement's exponent is q-1, and
+  // x^(q-1) = x^{-1} (every element's order divides q) — one group
+  // inversion instead of a full-width ladder. Value-identical: inverses
+  // are unique, and inv() is cheap on every family (EC: negation; Schnorr:
+  // egcd field inverse; mock: 61-bit powmod).
+  std::vector<Ciphertext> gamma;
+  gamma.reserve(l);
+  std::size_t pop = 0;
+  for (std::size_t b = 0; b < l; ++b) {
+    if (!beta_.bit(b)) {
+      gamma.push_back(peer_bits[b]);
+    } else {
+      ++pop;
+      gamma.push_back(Ciphertext{.c = f.mul(f.inv(peer_bits[b].c),
+                                            f.exp_g(Nat{1})),
+                                 .cp = f.inv(peer_bits[b].cp)});
+    }
+  }
+
+  std::vector<Ciphertext> tau(l);
+  Ciphertext suffix{.c = f.identity(), .cp = f.identity()};
+  for (std::size_t b = l; b-- > 0;) {
+    const Nat coeff{static_cast<mpz::Limb>(l - b)};
+    // ω_b's exponent q - coeff collapses the same way: γ^(q-coeff) =
+    // inv(γ)^coeff, and coeff = l-b is tiny (< l), so the fused
+    // accumulation inv(γ.c)^coeff · g^coeff runs a coeff-width Straus
+    // ladder — a handful of squarings — instead of a q-width one.
+    const std::array<Elem, 2> cb{f.inv(gamma[b].c), f.generator()};
+    const std::array<Nat, 2> ce{coeff, coeff};
+    Ciphertext omega{.c = f.mul(group::multi_exp(f, cb, ce), suffix.c),
+                     .cp = f.mul(f.exp(f.inv(gamma[b].cp), coeff),
+                                 suffix.cp)};
+    // τ_b = ω_b (+1 on the payload for an own set bit).
+    tau[b] = beta_.bit(b)
+                 ? Ciphertext{.c = f.mul(omega.c, f.exp_g(Nat{1})),
+                              .cp = omega.cp}
+                 : omega;
+    if (pool != nullptr) {
+      tau[b] = crypto::rerandomize_with(f, tau[b],
+                                        pool->entries.at(pool_offset + b));
+    } else {
+      const runtime::ScopedOpTimer rr(runtime::CryptoOp::kElGamalRerandomize);
+      const Nat r = f.random_nonzero_scalar(rng);
+      Elem yr;
+      if (key_table_ != nullptr) {
+        runtime::count_op(runtime::CryptoOp::kAccelFixedBaseExp);
+        yr = key_table_->exp(f, r);
+      } else {
+        yr = f.exp(joint_key_, r);
+      }
+      tau[b] = Ciphertext{.c = f.mul(tau[b].c, yr),
+                          .cp = f.mul(tau[b].cp, f.exp_g(r))};
+    }
+    suffix = ct_add(f, suffix, gamma[b]);
+  }
+
+  // Credit the naive evaluation's interface-level op profile (table above).
+  using runtime::CryptoOp;
+  runtime::count_op(CryptoOp::kGroupMul, 7 * l + 2 * pop);
+  runtime::count_op(CryptoOp::kGroupExp,
+                    (pool != nullptr ? 2 : 3) * l + 2 * pop);
+  runtime::count_op(CryptoOp::kGroupExpG,
+                    (pool != nullptr ? 1 : 2) * l + 2 * pop);
+  return tau;
+}
+
 void Participant::shuffle_hop(CipherSet& set, Rng& rng) {
+  if (fast_ != nullptr) return shuffle_hop_accel(set, rng);
   const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kShuffleHop);
   const Group& g = *cfg_.group;
   for (Ciphertext& ct : set) {
@@ -327,6 +443,42 @@ void Participant::shuffle_hop(CipherSet& set, Rng& rng) {
   // Fisher–Yates with the party's private randomness.
   for (std::size_t i = set.size(); i-- > 1;)
     std::swap(set[i], set[rng.below_u64(i + 1)]);
+}
+
+// Accelerated chain hop: partial decryption and exponent randomization fuse
+// into one 2-term multi-exp per ciphertext —
+//
+//   naive:  c1 = c / cp^x;  out = (c1^r, cp^r)       (3 exps + 1 inv + 1 mul)
+//   fused:  out.c = c^r · cp^(q - x·r mod q)          (one multi_exp)
+//           out.cp = cp^r                             (one exp)
+//
+// equal because every element's order divides q, so cp^(q-e) = cp^(-e). For
+// the Schnorr groups — whose inv() is itself a full-width exponentiation —
+// this roughly halves the hop cost. Randomness: the same one
+// random_nonzero_scalar per ciphertext, in the same order, then the same
+// Fisher–Yates draws; credits follow the naive profile per ciphertext
+// (kElGamalPartialDecrypt, kElGamalExpRandomize, 3 kGroupExp, 1 kGroupInv,
+// 1 kGroupMul).
+void Participant::shuffle_hop_accel(CipherSet& set, Rng& rng) {
+  const runtime::ScopedOpTimer op_timer(runtime::CryptoOp::kShuffleHop);
+  const Group& f = *fast_;
+  const Nat& q = f.order();
+  for (Ciphertext& ct : set) {
+    runtime::count_op(runtime::CryptoOp::kElGamalPartialDecrypt);
+    const Nat r = f.random_nonzero_scalar(rng);
+    runtime::count_op(runtime::CryptoOp::kElGamalExpRandomize);
+    const Nat e = Nat::sub(q, Nat::mul(key_.x, r) % q);
+    const std::array<Elem, 2> bases{ct.c, ct.cp};
+    const std::array<Nat, 2> exps{r, e};
+    ct = Ciphertext{.c = group::multi_exp(f, bases, exps),
+                    .cp = f.exp(ct.cp, r)};
+  }
+  for (std::size_t i = set.size(); i-- > 1;)
+    std::swap(set[i], set[rng.below_u64(i + 1)]);
+  using runtime::CryptoOp;
+  runtime::count_op(CryptoOp::kGroupExp, 3 * set.size());
+  runtime::count_op(CryptoOp::kGroupInv, set.size());
+  runtime::count_op(CryptoOp::kGroupMul, set.size());
 }
 
 std::size_t Participant::compute_rank(const CipherSet& own_set) const {
@@ -763,18 +915,45 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         // The joint key now exists: fetch/build its comb table and the
         // zero-encryption pool, and arm the accelerator. This runs between
         // fork-join barriers, so worker threads of the later steps observe
-        // the attached table through the pool's synchronization.
+        // the attached table through the pool's synchronization. The pool is
+        // the PR-6 widened layout: n·(n-1)·l comparison entries (slice
+        // idx·l for evaluation idx, unchanged), then n·l entries feeding the
+        // bitwise β encryptions (slice n·(n-1)·l + j·l for party j+1).
         const runtime::MetricsMute mute;
-        key_mat =
-            cfg.precompute->key_material(*cfg.group, joint, n * (n - 1) * l);
+        key_mat = cfg.precompute->key_material(*cfg.group, joint,
+                                               n * (n - 1) * l + n * l);
         accel->set_base_table(key_mat.key_table);
       }
       for (auto& p : parts) p.set_joint_key(joint);
+      if (cfg.accel) {
+        // Arm the multi-exp fast path: parties compute through the
+        // undecorated proto_group and credit logical counts themselves. The
+        // joint-key window table comes from the precompute source when one
+        // is attached; otherwise it is built here, muted — its cost is
+        // O(2^w · bits/w) multiplications once per run, repaid by the
+        // n·(n-1)·l re-randomizations.
+        std::shared_ptr<const group::FixedBaseTable> kt = key_mat.key_table;
+        if (kt == nullptr) {
+          const runtime::MetricsMute mute;
+          kt = std::make_shared<const group::FixedBaseTable>(
+              *cfg.group, joint, cfg.group->order().bit_length());
+        }
+        for (auto& p : parts) p.set_accel_context(proto_group, kt);
+      }
     }
     router.next_round();
 
     // Step 6: bitwise encryptions, broadcast. Fanned out over all n·l
-    // (party, bit) pairs — one encryption, one stream each.
+    // (party, bit) pairs — one encryption, one stream each. With a widened
+    // zero pool available the encryptions ride its β region (no randomness
+    // drawn — each task's stream exists but goes unused, so the fan-out
+    // stays schedule-independent either way); a source supplying a
+    // comparison-only pool simply leaves the drawing path in place.
+    const std::size_t beta_pool_base = n * (n - 1) * l;
+    const crypto::ZeroPool* beta_pool = key_mat.zero_pool.get();
+    if (beta_pool != nullptr &&
+        beta_pool->entries.size() < beta_pool_base + n * l)
+      beta_pool = nullptr;
     std::vector<std::vector<Ciphertext>> beta_bits(
         n, std::vector<Ciphertext>(l));
     {
@@ -789,7 +968,8 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                               "task.encrypt_bit", b);
         auto scope = timer.time(j + 1);
         ChaChaRng task_rng = task_stream(kEncryptBit, j + 1, b);
-        beta_bits[j][b] = parts[j].encrypt_beta_bit(b, task_rng);
+        beta_bits[j][b] = parts[j].encrypt_beta_bit(
+            b, task_rng, beta_pool, beta_pool_base + j * l);
       });
       obs.collect();
     }

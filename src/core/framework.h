@@ -153,11 +153,21 @@ struct FrameworkConfig {
   /// `parallelism` threads per run. When set, `parallelism` is ignored.
   runtime::ThreadPool* shared_pool = nullptr;
   /// Shared crypto precompute (generator/joint-key comb tables, a zero
-  /// -encryption pool for the comparison step). Null (the default) runs the
-  /// original non-precomputed path. Protocol *outputs* are identical either
-  /// way; with a source attached, per-op group counts shift from
-  /// exponentiations to multiplications (see DESIGN.md §6).
+  /// -encryption pool for the comparison step and the bitwise β
+  /// encryptions). Null (the default) runs the original non-precomputed
+  /// path. Protocol *outputs* are identical either way; with a source
+  /// attached, per-op group counts shift from exponentiations to
+  /// multiplications (see DESIGN.md §6).
   PrecomputeSource* precompute = nullptr;
+  /// Phase-2 multi-exponentiation acceleration (DESIGN.md §5e): the
+  /// comparison circuit and the shuffle hops compute through
+  /// group::multi_exp fusions and fixed-base windows on the *undecorated*
+  /// group, then credit the exact interface-level op counts the naive
+  /// evaluation reports — so every output (ranks, β, wire bytes, metrics
+  /// minus the accel_* counters) is bit-identical with the flag on or off,
+  /// at any parallelism. Turn it off for op-count *measurement through the
+  /// group decorator itself* (benchcore's CountingGroup model runs do).
+  bool accel = true;
   /// Deterministic fault schedule routed into the run's net::Router; must
   /// outlive the run. Null or disabled: the fault layer is a strict no-op
   /// and every output/export is bit-identical to a build without it.
@@ -255,6 +265,14 @@ class Participant {
   /// One ciphertext of step 6: E(bit b of β). The engine fans this out
   /// across the l bits, one Rng stream per bit.
   [[nodiscard]] Ciphertext encrypt_beta_bit(std::size_t b, Rng& rng) const;
+  /// Pool-fed form: when `pool` is non-null, bit b rides the precomputed
+  /// zero encryption pool->entries[pool_offset + b] (crypto::
+  /// encrypt_exp_with) instead of drawing randomness — run_framework hands
+  /// each party the l-entry slice after the comparison region of the
+  /// widened pool. `rng` is only consumed on the drawing fallback.
+  [[nodiscard]] Ciphertext encrypt_beta_bit(std::size_t b, Rng& rng,
+                                            const crypto::ZeroPool* pool,
+                                            std::size_t pool_offset) const;
   /// Step 7: homomorphic comparison of own (plaintext) bits against another
   /// participant's encrypted bits; returns E(τ^1..τ^l). A zero among the τ
   /// plaintexts means the peer's β is larger.
@@ -287,10 +305,25 @@ class Participant {
   [[nodiscard]] std::optional<Initiator::Submission> submission(
       std::size_t rank) const;
 
+  /// Arms the phase-2 multi-exponentiation fast path (FrameworkConfig::
+  /// accel): `fast` is the undecorated group the accelerated
+  /// compare_against / shuffle_hop compute through (bypassing any metering
+  /// decorator — the fast path credits the naive op counts itself), and
+  /// `key_table` is a fixed-base window table for the joint public key used
+  /// by the circuit re-randomizations. Both must outlive this party; null
+  /// `fast` restores the naive path. Call after set_joint_key.
+  void set_accel_context(const Group* fast,
+                         std::shared_ptr<const group::FixedBaseTable> key_table);
+
   [[nodiscard]] std::size_t id() const { return id_; }
   [[nodiscard]] const AttrVec& info() const { return info_; }
 
  private:
+  [[nodiscard]] std::vector<Ciphertext> compare_against_accel(
+      const std::vector<Ciphertext>& peer_bits, Rng& rng,
+      const crypto::ZeroPool* pool, std::size_t pool_offset) const;
+  void shuffle_hop_accel(CipherSet& set, Rng& rng);
+
   const FrameworkConfig& cfg_;
   std::size_t id_;
   AttrVec info_;
@@ -300,6 +333,9 @@ class Participant {
   crypto::KeyPair key_;
   bool key_generated_ = false;
   Elem joint_key_;
+  // Accelerated-path context (set_accel_context); naive when fast_ is null.
+  const Group* fast_ = nullptr;
+  std::shared_ptr<const group::FixedBaseTable> key_table_;
 };
 
 /// Outputs plus observability data.

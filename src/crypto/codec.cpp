@@ -53,7 +53,16 @@ std::vector<Ciphertext> read_ciphertexts(Reader& r, const Group& g) {
 
 void write_ciphertext_seq(Writer& w, const Group& g,
                           std::span<const Ciphertext> cts) {
-  for (const auto& ct : cts) write_ciphertext(w, g, ct);
+  // Batch the whole set through serialize_many: identical bytes and the
+  // same logical serialization count, but elliptic-curve groups normalize
+  // all 2·|cts| points to affine with a single batched field inversion.
+  std::vector<group::Elem> elems;
+  elems.reserve(2 * cts.size());
+  for (const auto& ct : cts) {
+    elems.push_back(ct.c);
+    elems.push_back(ct.cp);
+  }
+  w.raw(g.serialize_many(elems));
 }
 
 std::vector<Ciphertext> read_ciphertext_seq(Reader& r, const Group& g,

@@ -86,6 +86,12 @@ Ciphertext rerandomize_with(const Group& g, const Ciphertext& ct,
   return ct_add(g, ct, zero);
 }
 
+Ciphertext encrypt_exp_with(const Group& g, const Ciphertext& zero,
+                            const Nat& m) {
+  const runtime::ScopedOpTimer timer(CryptoOp::kElGamalEncrypt);
+  return Ciphertext{.c = g.mul(zero.c, g.exp_g(m)), .cp = zero.cp};
+}
+
 Ciphertext partial_decrypt(const Group& g, const Nat& x_j,
                            const Ciphertext& ct) {
   runtime::count_op(CryptoOp::kElGamalPartialDecrypt);

@@ -93,6 +93,13 @@ struct ZeroPool {
 /// kElGamalRerandomize like the exponentiating form.
 [[nodiscard]] Ciphertext rerandomize_with(const Group& g, const Ciphertext& ct,
                                           const Ciphertext& zero);
+/// Pool-fed exponential encryption: E(m) = zero ∘ (g^m, 1) — the PR 6
+/// "phase-2 capable" pool use, letting the bitwise β encryptions ride the
+/// same precomputed randomness as the comparison re-randomizations (one
+/// fixed-base exponentiation and one multiplication instead of a full
+/// encrypt_exp). Counts/times as a kElGamalEncrypt like the drawing form.
+[[nodiscard]] Ciphertext encrypt_exp_with(const Group& g, const Ciphertext& zero,
+                                          const Nat& m);
 
 // --- distributed decryption building blocks (framework step 8) ---
 /// Removes one key layer: (c / c'^{x_j}, c'). After every holder of a key

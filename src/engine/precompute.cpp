@@ -6,6 +6,12 @@ namespace ppgr::engine {
 
 namespace {
 
+// Window width of every comb table this cache builds. Part of each table's
+// cache key: two engines (or a future default change) disagreeing on the
+// width must never alias to the same artifact, since the tables' contents
+// differ even though the exps they answer do not.
+constexpr std::size_t kTableWindowBits = 4;
+
 void append_hex(std::string& out, std::span<const std::uint8_t> bytes) {
   static const char* kHex = "0123456789abcdef";
   for (const std::uint8_t b : bytes) {
@@ -15,7 +21,7 @@ void append_hex(std::string& out, std::span<const std::uint8_t> bytes) {
 }
 
 std::string group_key(const group::Group& base) {
-  return base.name();
+  return base.name() + "|w" + std::to_string(kTableWindowBits);
 }
 
 std::string elem_key(const group::Group& base, const group::Elem& e) {
@@ -31,7 +37,7 @@ PrecomputeCache::TableResult PrecomputeCache::generator_table(
     const group::Group& base) {
   auto [table, built] = generator_tables_.get(group_key(base), [&base] {
     return group::FixedBaseTable{base, base.generator(),
-                                 base.order().bit_length()};
+                                 base.order().bit_length(), kTableWindowBits};
   });
   return TableResult{std::move(table), built};
 }
@@ -39,7 +45,8 @@ PrecomputeCache::TableResult PrecomputeCache::generator_table(
 PrecomputeCache::TableResult PrecomputeCache::key_table(
     const group::Group& base, const group::Elem& key) {
   auto [table, built] = key_tables_.get(elem_key(base, key), [&base, &key] {
-    return group::FixedBaseTable{base, key, base.order().bit_length()};
+    return group::FixedBaseTable{base, key, base.order().bit_length(),
+                                 kTableWindowBits};
   });
   return TableResult{std::move(table), built};
 }

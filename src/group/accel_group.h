@@ -77,6 +77,10 @@ class AcceleratedGroup final : public Group {
       const Elem& x) const override {
     return inner_.serialize(x);
   }
+  [[nodiscard]] std::vector<std::uint8_t> serialize_many(
+      std::span<const Elem> xs) const override {
+    return inner_.serialize_many(xs);
+  }
   [[nodiscard]] Elem deserialize(
       std::span<const std::uint8_t> bytes) const override {
     return inner_.deserialize(bytes);

@@ -80,6 +80,11 @@ class CountingGroup final : public Group {
     ++counts_.serializations;
     return inner_.serialize(x);
   }
+  [[nodiscard]] std::vector<std::uint8_t> serialize_many(
+      std::span<const Elem> xs) const override {
+    counts_.serializations += xs.size();
+    return inner_.serialize_many(xs);
+  }
   [[nodiscard]] Elem deserialize(std::span<const std::uint8_t> bytes) const override {
     ++counts_.deserializations;
     return inner_.deserialize(bytes);

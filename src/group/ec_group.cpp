@@ -1,7 +1,10 @@
 #include "group/ec_group.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+
+#include "runtime/metrics.h"
 
 namespace ppgr::group {
 
@@ -164,6 +167,36 @@ std::vector<std::uint8_t> EcGroup::serialize(const Elem& x) const {
   const auto xb = ax.to_bytes_be(fb), yb = ay.to_bytes_be(fb);
   std::copy(xb.begin(), xb.end(), out.begin() + 1);
   std::copy(yb.begin(), yb.end(), out.begin() + 1 + static_cast<std::ptrdiff_t>(fb));
+  return out;
+}
+
+std::vector<std::uint8_t> EcGroup::serialize_many(
+    std::span<const Elem> xs) const {
+  const std::size_t eb = element_bytes();
+  const std::size_t fb = (field_.bits() + 7) / 8;
+  std::vector<std::uint8_t> out(xs.size() * eb, 0);
+  // One batched inversion over every finite point's Z coordinate.
+  std::vector<Nat> zs;
+  zs.reserve(xs.size());
+  for (const Elem& pt : xs)
+    if (!pt.infinity) zs.push_back(pt.c);
+  if (zs.empty()) return out;  // all identities: all-zero encodings
+  const std::vector<Nat> zinvs = field_.inv_many(zs);
+  runtime::count_op(runtime::CryptoOp::kAccelBatchInverse, zinvs.size());
+  std::size_t zi = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Elem& pt = xs[i];
+    if (pt.infinity) continue;
+    const Nat& zinv = zinvs[zi++];
+    const Nat zinv2 = field_.sqr(zinv);
+    const Nat ax = field_.from(field_.mul(pt.a, zinv2));
+    const Nat ay = field_.from(field_.mul(pt.b, field_.mul(zinv2, zinv)));
+    std::uint8_t* dst = out.data() + i * eb;
+    dst[0] = 0x04;
+    const auto xb = ax.to_bytes_be(fb), yb = ay.to_bytes_be(fb);
+    std::copy(xb.begin(), xb.end(), dst + 1);
+    std::copy(yb.begin(), yb.end(), dst + 1 + fb);
+  }
   return out;
 }
 

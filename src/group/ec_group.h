@@ -54,6 +54,11 @@ class EcGroup final : public Group {
   }
 
   [[nodiscard]] std::vector<std::uint8_t> serialize(const Elem& x) const override;
+  /// Batched serialization: normalizes every non-identity point to affine
+  /// with ONE field inversion (FpCtx::inv_many, Montgomery's trick) instead
+  /// of one per point. Byte-identical to the per-element form.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_many(
+      std::span<const Elem> xs) const override;
   [[nodiscard]] Elem deserialize(std::span<const std::uint8_t> bytes) const override;
   [[nodiscard]] std::size_t element_bytes() const override;
 

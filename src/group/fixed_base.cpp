@@ -1,34 +1,43 @@
 #include "group/fixed_base.h"
 
+#include <stdexcept>
+
 namespace ppgr::group {
 
 FixedBaseTable::FixedBaseTable(const Group& g, const Elem& base,
-                               std::size_t max_scalar_bits)
-    : base_(base) {
-  const std::size_t windows = (max_scalar_bits + 3) / 4;
+                               std::size_t max_scalar_bits,
+                               std::size_t window_bits)
+    : base_(base), window_bits_(window_bits) {
+  if (window_bits < 2 || window_bits > 8)
+    throw std::invalid_argument("FixedBaseTable: window_bits must be in [2,8]");
+  const std::size_t w = window_bits;
+  const std::size_t digits = std::size_t{1} << w;
+  const std::size_t windows = (max_scalar_bits + w - 1) / w;
   table_.resize(windows);
-  Elem window_base = base;  // g^(16^k)
+  Elem window_base = base;  // g^(2^(wk))
   for (std::size_t k = 0; k < windows; ++k) {
+    table_[k].resize(digits);
     table_[k][0] = g.identity();
     table_[k][1] = window_base;
-    for (std::size_t d = 2; d < 16; ++d)
+    for (std::size_t d = 2; d < digits; ++d)
       table_[k][d] = g.mul(table_[k][d - 1], window_base);
-    // Advance to g^(16^(k+1)) = (g^(16^k))^16.
-    window_base = g.mul(table_[k][15], window_base);
+    // Advance to g^(2^(w(k+1))) = (g^(2^(wk)))^(2^w).
+    window_base = g.mul(table_[k][digits - 1], window_base);
   }
 }
 
 Elem FixedBaseTable::exp(const Group& g, const Nat& scalar) const {
+  const std::size_t w = window_bits_;
   const std::size_t nbits = scalar.bit_length();
-  if (nbits > table_.size() * 4) return g.exp(base_, scalar);  // too wide
+  if (nbits > table_.size() * w) return g.exp(base_, scalar);  // too wide
   Elem acc = g.identity();
-  const std::size_t windows = (nbits + 3) / 4;
+  const std::size_t windows = (nbits + w - 1) / w;
   for (std::size_t k = 0; k < windows; ++k) {
-    std::size_t nib = 0;
-    for (std::size_t b = 0; b < 4; ++b) {
-      if (scalar.bit(k * 4 + b)) nib |= (1u << b);
+    std::size_t digit = 0;
+    for (std::size_t b = 0; b < w; ++b) {
+      if (scalar.bit(k * w + b)) digit |= (std::size_t{1} << b);
     }
-    if (nib != 0) acc = g.mul(acc, table_[k][nib]);
+    if (digit != 0) acc = g.mul(acc, table_[k][digit]);
   }
   return acc;
 }

@@ -1,13 +1,21 @@
-// Fixed-base exponentiation via a 4-bit comb table.
+// Fixed-base exponentiation via a windowed comb table.
 //
-// For a fixed base g, precompute T[k][d] = g^(d * 16^k) for every nibble
-// position k of the scalar; then g^s = Π_k T[k][nibble_k(s)] — one group
-// multiplication per nonzero nibble and zero squarings. Shared by the
-// Schnorr and elliptic-curve groups for their generator (the hottest base in
-// the framework: every ElGamal encryption computes two fixed-base powers).
+// For a fixed base g and window width w, precompute T[k][d] = g^(d * 2^(wk))
+// for every w-bit digit position k of the scalar; then g^s = Π_k
+// T[k][digit_k(s)] — one group multiplication per nonzero digit and zero
+// squarings. Shared by the Schnorr and elliptic-curve groups for their
+// generator (the hottest base in the framework: every ElGamal encryption
+// computes two fixed-base powers) and, since PR 6, by the phase-2
+// accelerator for the joint ElGamal key (every compare-circuit
+// re-randomization exponentiates it).
+//
+// Memory/speed trade-off: a table costs ceil(bits/w) * (2^w - 1) precomputed
+// elements and answers an exp in ~bits/w multiplications, so widening w by
+// one halves...doubles: w=4 on a 256-bit scalar is 960 elements and <=64
+// muls; w=5 is 1612 elements and <=52 muls. The default w=4 matches the
+// pre-PR-6 tables bit for bit.
 #pragma once
 
-#include <array>
 #include <vector>
 
 #include "group/group.h"
@@ -16,22 +24,25 @@ namespace ppgr::group {
 
 class FixedBaseTable {
  public:
-  /// Precomputes for scalars up to `max_scalar_bits` bits. The table costs
-  /// ceil(bits/4) * 15 precomputed elements.
-  FixedBaseTable(const Group& g, const Elem& base, std::size_t max_scalar_bits);
+  /// Precomputes for scalars up to `max_scalar_bits` bits with `window_bits`
+  /// wide digits (2..8; throws std::invalid_argument outside that range).
+  FixedBaseTable(const Group& g, const Elem& base, std::size_t max_scalar_bits,
+                 std::size_t window_bits = 4);
 
   /// base^scalar using only multiplications. Falls back to the group's
   /// generic exp for scalars wider than the table.
   [[nodiscard]] Elem exp(const Group& g, const Nat& scalar) const;
 
   [[nodiscard]] std::size_t windows() const { return table_.size(); }
+  [[nodiscard]] std::size_t window_bits() const { return window_bits_; }
 
   /// The fixed base the table was built for.
   [[nodiscard]] const Elem& base() const { return base_; }
 
  private:
   Elem base_;
-  std::vector<std::array<Elem, 16>> table_;  // [window][nibble]
+  std::size_t window_bits_;
+  std::vector<std::vector<Elem>> table_;  // [window][digit], 2^w digits each
 };
 
 }  // namespace ppgr::group

@@ -60,12 +60,39 @@ class Group {
 
   /// Canonical byte encoding (fixed length element_bytes()).
   [[nodiscard]] virtual std::vector<std::uint8_t> serialize(const Elem& x) const = 0;
+  /// Batch form of serialize: the concatenated canonical encodings of `xs`
+  /// (element_bytes() each), byte-identical to serializing one by one. The
+  /// default loops; EcGroup overrides it with a batched-inversion affine
+  /// normalization (one field inversion for the whole batch instead of one
+  /// per point), and the counting decorators override it to keep reporting
+  /// xs.size() logical serializations.
+  [[nodiscard]] virtual std::vector<std::uint8_t> serialize_many(
+      std::span<const Elem> xs) const {
+    std::vector<std::uint8_t> out;
+    out.reserve(xs.size() * element_bytes());
+    for (const Elem& x : xs) {
+      const auto one = serialize(x);
+      out.insert(out.end(), one.begin(), one.end());
+    }
+    return out;
+  }
   /// Inverse of serialize; throws std::invalid_argument on malformed input
   /// (including points off the curve / non-residues).
   [[nodiscard]] virtual Elem deserialize(std::span<const std::uint8_t> bytes) const = 0;
   /// Length of the canonical encoding in bytes. Drives the communication
   /// accounting (S_c in the paper's Sec. VI-B is 2 * element_bytes()).
   [[nodiscard]] virtual std::size_t element_bytes() const = 0;
+
+  /// Fused x^ex · y^ey — the shape of every ElGamal ciphertext fold in the
+  /// accelerated phase-2 paths (multi_exp() routes its 2-term calls here).
+  /// The default (defined in multi_exp.cpp) is the generic interleaved
+  /// Straus ladder through this group's mul(), so decorators that count or
+  /// meter group operations keep reporting exactly the ops the generic
+  /// evaluation performs. SchnorrGroup overrides it with a Montgomery-native
+  /// ladder that computes the identical element without per-step Elem
+  /// boxing.
+  [[nodiscard]] virtual Elem dual_exp(const Elem& x, const Nat& ex,
+                                      const Elem& y, const Nat& ey) const;
 
   // --- conveniences shared by all groups ---
   /// x / y.

@@ -59,6 +59,13 @@ class MeteredGroup final : public Group {
     runtime::count_op(runtime::CryptoOp::kGroupSerialize);
     return inner_.serialize(x);
   }
+  [[nodiscard]] std::vector<std::uint8_t> serialize_many(
+      std::span<const Elem> xs) const override {
+    // Still xs.size() logical serializations, however the inner group
+    // batches the work (the model prices encodings, not inversions).
+    runtime::count_op(runtime::CryptoOp::kGroupSerialize, xs.size());
+    return inner_.serialize_many(xs);
+  }
   [[nodiscard]] Elem deserialize(
       std::span<const std::uint8_t> bytes) const override {
     runtime::count_op(runtime::CryptoOp::kGroupDeserialize);

@@ -1,0 +1,147 @@
+#include "group/multi_exp.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace ppgr::group {
+
+namespace {
+
+std::size_t max_bits(std::span<const Nat> exps) {
+  std::size_t bits = 0;
+  for (const Nat& e : exps) bits = std::max(bits, e.bit_length());
+  return bits;
+}
+
+std::size_t digit_at(const Nat& e, std::size_t lo, std::size_t width) {
+  std::size_t d = 0;
+  for (std::size_t b = 0; b < width; ++b)
+    if (e.bit(lo + b)) d |= (std::size_t{1} << b);
+  return d;
+}
+
+}  // namespace
+
+Elem multi_exp_straus(const Group& g, std::span<const Elem> bases,
+                      std::span<const Nat> exps, std::size_t window_bits) {
+  if (bases.size() != exps.size())
+    throw std::invalid_argument("multi_exp_straus: size mismatch");
+  if (window_bits < 1 || window_bits > 8)
+    throw std::invalid_argument("multi_exp_straus: window_bits must be in [1,8]");
+  const std::size_t k = bases.size();
+  if (k == 0) return g.identity();
+  const std::size_t w = window_bits;
+  const std::size_t digits = std::size_t{1} << w;
+
+  // Per-base digit tables: T[i][d] = bases[i]^d.
+  std::vector<std::vector<Elem>> table(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    table[i].resize(digits);
+    table[i][0] = g.identity();
+    if (digits > 1) table[i][1] = bases[i];
+    for (std::size_t d = 2; d < digits; ++d)
+      table[i][d] = g.mul(table[i][d - 1], bases[i]);
+  }
+
+  const std::size_t bits = max_bits(exps);
+  const std::size_t windows = (bits + w - 1) / w;
+  Elem acc = g.identity();
+  bool started = false;
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started)
+      for (std::size_t s = 0; s < w; ++s) acc = g.mul(acc, acc);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t d = digit_at(exps[i], win * w, w);
+      if (d == 0) continue;
+      acc = started ? g.mul(acc, table[i][d]) : table[i][d];
+      started = true;
+    }
+  }
+  return started ? acc : g.identity();
+}
+
+Elem multi_exp_pippenger(const Group& g, std::span<const Elem> bases,
+                         std::span<const Nat> exps) {
+  if (bases.size() != exps.size())
+    throw std::invalid_argument("multi_exp_pippenger: size mismatch");
+  const std::size_t k = bases.size();
+  if (k == 0) return g.identity();
+  // Window size ~ log2(k): bucket maintenance (2^(c+1) muls per window)
+  // balances the k digit-insertions per window.
+  const std::size_t c = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(k)) - 1, 1, 12);
+  const std::size_t buckets_n = (std::size_t{1} << c) - 1;
+
+  const std::size_t bits = max_bits(exps);
+  const std::size_t windows = (bits + c - 1) / c;
+  Elem acc = g.identity();
+  bool started = false;
+  std::vector<Elem> buckets(buckets_n);
+  std::vector<char> used(buckets_n);
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started)
+      for (std::size_t s = 0; s < c; ++s) acc = g.mul(acc, acc);
+    std::fill(used.begin(), used.end(), 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t d = digit_at(exps[i], win * c, c);
+      if (d == 0) continue;
+      buckets[d - 1] = used[d - 1] != 0 ? g.mul(buckets[d - 1], bases[i])
+                                        : bases[i];
+      used[d - 1] = 1;
+    }
+    // Suffix sums: Σ_d d·bucket[d] = Σ running products from the top —
+    // running = Π_{e>=d} bucket[e], window = Σ_d running_d.
+    Elem running = g.identity();
+    bool have_running = false;
+    Elem window_sum = g.identity();
+    bool have_sum = false;
+    for (std::size_t d = buckets_n; d-- > 0;) {
+      if (used[d] != 0) {
+        running = have_running ? g.mul(running, buckets[d]) : buckets[d];
+        have_running = true;
+      }
+      if (have_running) {
+        window_sum = have_sum ? g.mul(window_sum, running) : running;
+        have_sum = true;
+      }
+    }
+    if (have_sum) {
+      acc = started ? g.mul(acc, window_sum) : window_sum;
+      started = true;
+    }
+  }
+  return started ? acc : g.identity();
+}
+
+Elem multi_exp(const Group& g, std::span<const Elem> bases,
+               std::span<const Nat> exps) {
+  if (bases.size() != exps.size())
+    throw std::invalid_argument("multi_exp: size mismatch");
+  runtime::count_op(runtime::CryptoOp::kAccelMultiExp);
+  runtime::count_op(runtime::CryptoOp::kAccelMultiExpTerm, bases.size());
+  if (bases.empty()) return g.identity();
+  if (bases.size() == 1) return g.exp(bases[0], exps[0]);
+  // The 2-term shape (one per ciphertext in the shuffle-hop and comparison
+  // folds) is the protocol hot path; groups may override dual_exp with a
+  // representation-native ladder.
+  if (bases.size() == 2) return g.dual_exp(bases[0], exps[0], bases[1], exps[1]);
+  if (bases.size() <= kStrausMaxTerms) return multi_exp_straus(g, bases, exps);
+  return multi_exp_pippenger(g, bases, exps);
+}
+
+// Default dual_exp: the generic 2-term Straus ladder, evaluated through the
+// (possibly decorated) group's own mul/exp virtuals. Lives here rather than
+// group.h so the interface header does not depend on the multi-exp engine.
+Elem Group::dual_exp(const Elem& x, const Nat& ex, const Elem& y,
+                     const Nat& ey) const {
+  const std::array<Elem, 2> bases{x, y};
+  const std::array<Nat, 2> exps{ex, ey};
+  return multi_exp_straus(*this, bases, exps);
+}
+
+}  // namespace ppgr::group

@@ -1,6 +1,9 @@
 #include "group/schnorr_group.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <utility>
 
 #include "mpz/modarith.h"
 
@@ -34,9 +37,61 @@ Elem SchnorrGroup::exp(const Elem& base, const Nat& scalar) const {
   return Elem{.a = mont_.exp(base.a, scalar)};
 }
 
+Elem SchnorrGroup::dual_exp(const Elem& x, const Nat& ex, const Elem& y,
+                            const Nat& ey) const {
+  // Montgomery-native 2-term Straus ladder (4-bit interleaved windows): the
+  // same interleaving as the generic Group::dual_exp, evaluated directly on
+  // the residues so the ~400 ladder steps skip the virtual dispatch and
+  // Elem boxing of the generic path. Residues mod p have a unique
+  // Montgomery form, so the result is bit-identical to the generic ladder.
+  constexpr std::size_t kW = 4;
+  constexpr std::size_t kDigits = std::size_t{1} << kW;
+  const std::size_t bits = std::max(ex.bit_length(), ey.bit_length());
+  if (bits == 0) return identity();
+  std::array<Nat, kDigits> tx, ty;
+  tx[1] = x.a;
+  ty[1] = y.a;
+  for (std::size_t d = 2; d < kDigits; ++d) {
+    tx[d] = mont_.mul(tx[d - 1], x.a);
+    ty[d] = mont_.mul(ty[d - 1], y.a);
+  }
+  // 4-bit windows at 4-bit offsets never straddle a 64-bit limb.
+  const auto digit = [](const Nat& e, std::size_t pos) -> std::size_t {
+    return (e.limb(pos / 64) >> (pos % 64)) & 0xF;
+  };
+  Nat acc;
+  bool started = false;
+  for (std::size_t w = (bits + kW - 1) / kW; w-- > 0;) {
+    if (started) {
+      acc = mont_.sqr(acc);
+      acc = mont_.sqr(acc);
+      acc = mont_.sqr(acc);
+      acc = mont_.sqr(acc);
+    }
+    const std::size_t dx = digit(ex, w * kW);
+    const std::size_t dy = digit(ey, w * kW);
+    if (dx != 0) {
+      acc = started ? mont_.mul(acc, tx[dx]) : tx[dx];
+      started = true;
+    }
+    if (dy != 0) {
+      acc = started ? mont_.mul(acc, ty[dy]) : ty[dy];
+      started = true;
+    }
+  }
+  return started ? Elem{.a = std::move(acc)} : identity();
+}
+
 Elem SchnorrGroup::inv(const Elem& x) const {
-  // x^(q-1) = x^{-1} for x in the order-q subgroup.
-  return Elem{.a = mont_.exp(x.a, Nat::sub(q_, Nat{1}))};
+  // Extended-Euclidean field inverse: an egcd on p's few limbs is far
+  // cheaper than the x^(q-1) exponentiation (a full-width ladder), and the
+  // inverse is unique in Z_p*, so the result is bit-identical. Inverting
+  // the Montgomery form xR directly would yield x^{-1}R^{-1}; convert out
+  // and back in instead.
+  const auto s = mpz::invmod(mont_.from_mont(x.a), mont_.modulus());
+  if (!s.has_value())  // impossible for subgroup elements (p prime, x != 0)
+    throw std::domain_error("SchnorrGroup::inv: element not invertible");
+  return Elem{.a = mont_.to_mont(*s)};
 }
 
 bool SchnorrGroup::eq(const Elem& x, const Elem& y) const { return x.a == y.a; }

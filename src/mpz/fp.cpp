@@ -1,6 +1,8 @@
 #include "mpz/fp.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "mpz/modarith.h"
 
@@ -31,6 +33,28 @@ Nat FpCtx::inv(const Nat& a) const {
   // Fermat: a^(p-2). Keeps everything in Montgomery form (invmod would need
   // two conversions plus a general divrem chain; exp is simpler here).
   return pow(a, Nat::sub(p(), Nat{2}));
+}
+
+std::vector<Nat> FpCtx::inv_many(std::span<const Nat> xs) const {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i].is_zero())
+      throw std::domain_error("FpCtx::inv_many: zero at index " +
+                              std::to_string(i) + " has no inverse");
+  }
+  std::vector<Nat> out(xs.size());
+  if (xs.empty()) return out;
+  // Prefix products: out[i] = x_0 * ... * x_i.
+  out[0] = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) out[i] = mul(out[i - 1], xs[i]);
+  // One real inversion of the running product, then back-substitute:
+  // inv(x_i) = inv(x_0..x_i) * (x_0..x_{i-1}).
+  Nat acc = inv(out.back());
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    out[i] = mul(acc, out[i - 1]);
+    acc = mul(acc, xs[i]);
+  }
+  out[0] = std::move(acc);
+  return out;
 }
 
 std::optional<Nat> FpCtx::sqrt(const Nat& a) const {

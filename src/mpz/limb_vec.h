@@ -1,0 +1,150 @@
+// Small-buffer limb storage for Nat.
+//
+// Every Montgomery multiplication used to allocate a fresh
+// std::vector<Limb> for its (tiny) result; at ~10^8 multiplications per
+// protocol run the malloc/free traffic cost as much wall clock as the
+// limb arithmetic itself. LimbVec keeps up to kInline limbs (256 bits)
+// inline — covering dl-test-256, the P-192/P-256 curve fields and the
+// 61-bit mock group — and spills to the heap only for the production
+// 1024/2048/3072-bit moduli, where the per-op arithmetic dwarfs the
+// allocator anyway.
+//
+// Deliberately minimal: exactly the vector surface nat.cpp uses
+// (size/empty/back/push_back/pop_back/resize/assign/iterators), value
+// semantics, no exception guarantees beyond new[] propagation. Iterators
+// are raw pointers and invalidate on any size-changing call.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace ppgr::mpz {
+
+class LimbVec {
+ public:
+  using Limb = std::uint64_t;
+  /// Inline capacity, in limbs. 4 limbs = 256 bits.
+  static constexpr std::size_t kInline = 4;
+
+  // User-provided (not `= default`) so `const LimbVec v;` is well-formed
+  // despite the deliberately uninitialized inline buffer.
+  LimbVec() noexcept {}  // NOLINT(modernize-use-equals-default)
+
+  LimbVec(const LimbVec& other) { assign(other.begin(), other.end()); }
+
+  LimbVec(LimbVec&& other) noexcept { steal(other); }
+
+  LimbVec& operator=(const LimbVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  LimbVec& operator=(LimbVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~LimbVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] Limb* data() { return ptr_; }
+  [[nodiscard]] const Limb* data() const { return ptr_; }
+
+  [[nodiscard]] Limb& operator[](std::size_t i) { return ptr_[i]; }
+  [[nodiscard]] const Limb& operator[](std::size_t i) const { return ptr_[i]; }
+
+  [[nodiscard]] Limb& back() { return ptr_[size_ - 1]; }
+  [[nodiscard]] const Limb& back() const { return ptr_[size_ - 1]; }
+
+  [[nodiscard]] Limb* begin() { return ptr_; }
+  [[nodiscard]] Limb* end() { return ptr_ + size_; }
+  [[nodiscard]] const Limb* begin() const { return ptr_; }
+  [[nodiscard]] const Limb* end() const { return ptr_ + size_; }
+
+  void push_back(Limb v) {
+    if (size_ == cap_) grow(size_ + 1);
+    ptr_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  void clear() { size_ = 0; }
+
+  /// Grows with zero fill or shrinks; never releases capacity.
+  void resize(std::size_t n, Limb fill = 0) {
+    if (n > cap_) grow(n);
+    for (std::size_t i = size_; i < n; ++i) ptr_[i] = fill;
+    size_ = n;
+  }
+
+  void assign(std::size_t n, Limb fill) {
+    if (n > cap_) grow_discard(n);
+    for (std::size_t i = 0; i < n; ++i) ptr_[i] = fill;
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n > cap_) grow_discard(n);
+    std::copy(first, last, ptr_);
+    size_ = n;
+  }
+
+  friend bool operator==(const LimbVec& a, const LimbVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  // Reallocates to hold at least `need` limbs, preserving contents.
+  void grow(std::size_t need) {
+    const std::size_t cap = std::max(need, cap_ * 2);
+    Limb* p = new Limb[cap];
+    std::copy(ptr_, ptr_ + size_, p);
+    release();
+    ptr_ = p;
+    cap_ = cap;
+  }
+
+  // Reallocation variant for assign(): old contents are dead.
+  void grow_discard(std::size_t need) {
+    const std::size_t cap = std::max(need, cap_ * 2);
+    Limb* p = new Limb[cap];
+    release();
+    ptr_ = p;
+    cap_ = cap;
+  }
+
+  void release() {
+    if (ptr_ != inline_) delete[] ptr_;
+    ptr_ = inline_;
+    cap_ = kInline;
+  }
+
+  // Takes other's storage; leaves other empty (inline). Heap buffers move by
+  // pointer; inline buffers copy (at most kInline limbs).
+  void steal(LimbVec& other) {
+    if (other.ptr_ != other.inline_) {
+      ptr_ = std::exchange(other.ptr_, other.inline_);
+      cap_ = std::exchange(other.cap_, kInline);
+      size_ = std::exchange(other.size_, 0);
+    } else {
+      std::copy(other.ptr_, other.ptr_ + other.size_, inline_);
+      size_ = std::exchange(other.size_, 0);
+    }
+  }
+
+  Limb* ptr_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInline;
+  Limb inline_[kInline];
+};
+
+}  // namespace ppgr::mpz

@@ -30,9 +30,9 @@ void Nat::normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
 }
 
-Nat Nat::from_limbs(std::vector<Limb> limbs) {
+Nat Nat::from_limbs(std::span<const Limb> limbs) {
   Nat n;
-  n.limbs_ = std::move(limbs);
+  n.limbs_.assign(limbs.begin(), limbs.end());
   n.normalize();
   return n;
 }

@@ -11,6 +11,9 @@
 //  - Division is Knuth's Algorithm D with 128-bit trial quotients.
 //  - Subtraction requires lhs >= rhs (checked); signed arithmetic lives in
 //    Int (sint.h).
+//  - Limbs live in a small-buffer LimbVec (limb_vec.h): values up to 256
+//    bits never touch the allocator, which is what makes the Montgomery
+//    hot loops allocation-free for the test groups and P-curves.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "mpz/limb_vec.h"
 
 namespace ppgr::mpz {
 
@@ -30,7 +35,7 @@ class Nat {
   /// From a single machine word.
   Nat(Limb v);  // NOLINT(google-explicit-constructor): deliberate, ergonomic
   /// From raw limbs, little-endian; normalizes.
-  static Nat from_limbs(std::vector<Limb> limbs);
+  static Nat from_limbs(std::span<const Limb> limbs);
   /// Parse a hex string (no 0x prefix required, case-insensitive).
   /// Throws std::invalid_argument on bad input.
   static Nat from_hex(std::string_view hex);
@@ -58,7 +63,9 @@ class Nat {
   [[nodiscard]] Limb limb(std::size_t i) const {
     return i < limbs_.size() ? limbs_[i] : 0;
   }
-  [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+  [[nodiscard]] std::span<const Limb> limbs() const {
+    return {limbs_.data(), limbs_.size()};
+  }
 
   /// Truncating conversion to a machine word (low 64 bits).
   [[nodiscard]] Limb to_limb() const { return limbs_.empty() ? 0 : limbs_[0]; }
@@ -121,7 +128,7 @@ class Nat {
   static Nat mul_schoolbook(const Nat& a, const Nat& b);
   static Nat mul_karatsuba(const Nat& a, const Nat& b);
 
-  std::vector<Limb> limbs_;
+  LimbVec limbs_;
 };
 
 struct Nat::DivRem {

@@ -105,8 +105,21 @@ enum class CryptoOp : std::uint8_t {
   // before it).
   kPrecomputeHit,
   kPrecomputeMiss,
+  // accelerated-execution counters (PR 6): how often the phase-2 hot path
+  // took a fast route — simultaneous multi-exponentiation (group/multi_exp),
+  // fixed-base comb exponentiation through an attached table, and batched
+  // Montgomery inversion for affine normalization. These run *in parallel*
+  // to the logical group-op counters above: an accelerated path credits the
+  // exact interface-level ops the unaccelerated algorithm would have
+  // reported (so validate_model --check stays exact) and additionally bumps
+  // these. They are deterministic functions of the run configuration, and
+  // the only metrics keys allowed to differ between accel-on and accel-off.
+  kAccelMultiExp,      // one multi_exp evaluation
+  kAccelMultiExpTerm,  // terms across all multi_exp evaluations
+  kAccelFixedBaseExp,  // exps served by a non-generator fixed-base table
+  kAccelBatchInverse,  // elements inverted through a batched inversion
 };
-inline constexpr std::size_t kOpCount = 25;
+inline constexpr std::size_t kOpCount = 29;
 [[nodiscard]] const char* op_name(CryptoOp op);
 
 /// Plain counter block, one slot per CryptoOp.

@@ -67,6 +67,10 @@ TEST(Model, MockCountsEqualRealGroupCounts) {
   cfg.k = k;
   cfg.group = &counted_real;
   cfg.dot_field = &core::default_dot_field();
+  // Counting through the decorator: the accelerated path computes past it
+  // (crediting runtime counters instead), so it must be off here, exactly
+  // as in count_he_framework.
+  cfg.accel = false;
   const Instance inst = random_instance(spec, n, 99);
   ChaChaRng rng{100};
   (void)core::run_framework(cfg, inst.v0, inst.w, inst.infos, rng);

@@ -3,6 +3,8 @@
 #include <gmpxx.h>
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "mpz/nat.h"
 #include "mpz/rng.h"
 #include "mpz/sint.h"
@@ -202,6 +204,50 @@ TEST(Nat, DivisionAddBackEdgeCase) {
   const auto [q, r] = Nat::divrem(u, v);
   EXPECT_EQ(q * v + r, u);
   EXPECT_LT(r, v);
+}
+
+TEST(Nat, SmallBufferSpillBoundary) {
+  // Nat's limbs live inline up to LimbVec::kInline limbs and spill to the
+  // heap beyond; exercise arithmetic that crosses the boundary in both
+  // directions so the grow-preserving-contents path and the shrink-back
+  // (heap buffer retained, size reduced) path both run.
+  const std::size_t edge = LimbVec::kInline * 64;  // bits
+  const Nat below = Nat::sub(Nat::pow2(edge), Nat{1});     // kInline limbs
+  const Nat above = Nat::add(below, Nat{1});               // kInline + 1
+  EXPECT_EQ(below.limb_count(), LimbVec::kInline);
+  EXPECT_EQ(above.limb_count(), LimbVec::kInline + 1);
+  EXPECT_EQ(to_gmp(Nat::mul(below, below)),
+            to_gmp(below) * to_gmp(below));
+  // Shrink across the boundary: (2^edge) - 1 drops back to inline size.
+  EXPECT_EQ(Nat::sub(above, Nat{1}), below);
+  // A heap-sized value reassigned from an inline-sized one.
+  Nat v = above;
+  v = below;
+  EXPECT_EQ(v, below);
+  EXPECT_EQ(to_gmp(Nat::add(v, above)), to_gmp(below) + to_gmp(above));
+}
+
+TEST(Nat, SmallBufferCopyAndMoveSemantics) {
+  const Nat small{42};                         // inline
+  const Nat big = Nat::pow2(LimbVec::kInline * 64 + 7);  // heap
+  // Copy both ways; source must be unchanged.
+  Nat a = big;
+  const Nat b = a;
+  EXPECT_EQ(a, big);
+  EXPECT_EQ(b, big);
+  // Move a heap value: the source is reusable (assign a new value).
+  Nat c = std::move(a);
+  EXPECT_EQ(c, big);
+  a = small;  // NOLINT(bugprone-use-after-move): reassignment is the test
+  EXPECT_EQ(a, small);
+  // Move an inline value.
+  Nat d = small;
+  Nat e = std::move(d);
+  EXPECT_EQ(e, small);
+  // Self-assignment through a reference must be a no-op.
+  Nat& ref = c;
+  c = ref;
+  EXPECT_EQ(c, big);
 }
 
 // ---- signed Int ----
