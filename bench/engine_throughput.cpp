@@ -12,9 +12,19 @@
 // deterministic leaves (cache hit/miss counts, outputs_identical) that the
 // bench-regress CI leg gates exactly.
 //
+// The "small" preset additionally runs a third (warm) pass with a live
+// telemetry sampler attached at the operator-default 100 ms period. The
+// recorded "telemetry" block gates the sampler overhead: the fraction of the
+// pass spent inside sampler callbacks (snapshot + JSONL + OpenMetrics
+// rendering) must stay under 1%, and the observed pass must stay
+// bit-identical to the unobserved ones (the non-perturbation invariant at
+// bench scale). The busy-fraction measure is used instead of a wall-clock
+// A/B delta because the latter is scheduler noise on 1-core CI boxes.
+//
 // Usage: engine_throughput [--load N] [--parallelism N] [--seed S]
 //                          [--out FILE]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/introspect.h"
 
 namespace {
 
@@ -83,13 +94,17 @@ struct PassStats {
   double setup_seconds = 0.0;  // sum over sessions of precompute fetch/build
   double p50 = 0.0;
   double p95 = 0.0;
+  std::uint64_t samples = 0;        // telemetry pass only
+  double sampler_busy_seconds = 0.0;  // total time inside sampler callbacks
   PrecomputeStats cache;
   std::vector<SessionResult> results;
 };
 
+constexpr double kTelemetryPeriodS = 0.1;  // operator default (100 ms)
+
 PassStats run_pass(const Preset& preset, PrecomputeCache& cache,
                    std::size_t load, std::size_t parallelism,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, bool with_telemetry = false) {
   EngineConfig cfg;
   cfg.seed = seed;
   cfg.max_in_flight = load;
@@ -98,9 +113,32 @@ PassStats run_pass(const Preset& preset, PrecomputeCache& cache,
   SessionEngine eng{cfg};
 
   PassStats stats;
+  // The same composition EngineSampler runs (snapshot -> JSONL + OpenMetrics
+  // page), with the callback timed so the overhead gate measures the real
+  // per-sample cost rather than a noisy wall-clock A/B difference.
+  std::atomic<std::uint64_t> busy_ns{0};
+  runtime::TelemetrySampler sampler{
+      runtime::TelemetrySampler::Config{kTelemetryPeriodS, "", ""},
+      [&eng, &busy_ns] {
+        const double a = now_s();
+        const engine::EngineSnapshot s =
+            engine::snapshot(eng, /*stall_deadline_s=*/5.0);
+        runtime::TelemetrySample out{s.to_jsonl(), s.to_openmetrics()};
+        busy_ns.fetch_add(static_cast<std::uint64_t>((now_s() - a) * 1e9),
+                          std::memory_order_relaxed);
+        return out;
+      }};
+  if (with_telemetry) sampler.start();
+
   const double t0 = now_s();
   stats.results = eng.run_batch(make_requests(preset));
   stats.wall_seconds = now_s() - t0;
+  if (with_telemetry) {
+    sampler.stop();
+    stats.samples = sampler.samples();
+    stats.sampler_busy_seconds =
+        static_cast<double>(busy_ns.load()) * 1e-9;
+  }
   std::vector<double> latencies;
   for (const auto& res : stats.results) {
     stats.setup_seconds += res.setup_seconds;
@@ -184,12 +222,37 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency());
 
   bool all_identical = true;
+  bool telemetry_gate_ok = true;
+  double tele_overhead = 0.0, tele_wall = 0.0, tele_busy = 0.0;
+  std::uint64_t tele_samples = 0;
   for (std::size_t pi = 0; pi < std::size(kPresets); ++pi) {
     const Preset& preset = kPresets[pi];
     PrecomputeCache cache;
     const PassStats cold = run_pass(preset, cache, load, parallelism, seed);
     const PassStats warm = run_pass(preset, cache, load, parallelism, seed);
-    const bool identical = passes_identical(cold, warm);
+    bool identical = passes_identical(cold, warm);
+
+    if (pi == 0) {
+      // Sampler overhead gate on the small preset: a third warm pass with
+      // the 100 ms sampler attached must stay bit-identical and spend <1%
+      // of the pass inside sampler callbacks.
+      const PassStats tele =
+          run_pass(preset, cache, load, parallelism, seed,
+                   /*with_telemetry=*/true);
+      identical = identical && passes_identical(cold, tele);
+      tele_wall = tele.wall_seconds;
+      tele_busy = tele.sampler_busy_seconds;
+      tele_samples = tele.samples;
+      tele_overhead =
+          tele.wall_seconds > 0.0 ? tele_busy / tele.wall_seconds : 0.0;
+      telemetry_gate_ok = tele_overhead < 0.01;
+      std::printf(
+          "%8s      telemetry: %llu samples @ %.0fms, overhead %.4f%% "
+          "(gate <1%%) %s\n",
+          preset.name, static_cast<unsigned long long>(tele_samples),
+          kTelemetryPeriodS * 1e3, tele_overhead * 100.0,
+          telemetry_gate_ok ? "ok" : "FAIL");
+    }
     all_identical = all_identical && identical;
 
     const double cold_tput = preset.sessions / cold.wall_seconds;
@@ -230,8 +293,24 @@ int main(int argc, char** argv) {
                  warm.setup_seconds, setup_speedup,
                  pi + 1 < std::size(kPresets) ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // Sampler overhead on the small preset (see the header comment). All
+  // leaves except the gate verdict and the period are wall-clock-derived —
+  // bench_compare.py classifies them as noisy; gate_pass flipping means the
+  // sampler got two orders of magnitude slower, which IS a regression.
+  std::fprintf(out,
+               "  \"telemetry\": {\"period_seconds\": %.3f, "
+               "\"samples\": %llu,\n"
+               "    \"wall_seconds\": %.6f, \"sampler_overhead_seconds\": "
+               "%.6f,\n"
+               "    \"overhead_ratio\": %.6f, \"gate_ratio\": 0.01, "
+               "\"gate_pass\": %s}\n",
+               kTelemetryPeriodS,
+               static_cast<unsigned long long>(tele_samples), tele_wall,
+               tele_busy, tele_overhead,
+               telemetry_gate_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
-  return all_identical ? 0 : 1;
+  return all_identical && telemetry_gate_ok ? 0 : 1;
 }

@@ -39,11 +39,15 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "engine/engine.h"
+#include "engine/introspect.h"
 
 namespace {
 
@@ -195,11 +199,24 @@ std::vector<engine::RankingRequest> demo_batch() {
   return reqs;
 }
 
+// Derives the per-session variant of an export path: the session id is
+// inserted before the extension ("out/m.json" -> "out/m.7.json"; no
+// extension: appended).
+std::string per_session_path(const std::string& path, std::uint64_t sid) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + "." + std::to_string(sid);
+  return path.substr(0, dot) + "." + std::to_string(sid) + path.substr(dot);
+}
+
 void print_usage(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %s <request-file> [--seed N] [--max-in-flight N]\n"
-      "       [--parallelism N] [--rollup-out FILE]\n"
+      "       [--parallelism N] [--rollup-out FILE] [per-session exports]\n"
+      "       [live telemetry]\n"
       "       %s --demo [same options]\n"
       "\n"
       "  --seed N          engine seed; every session's randomness derives\n"
@@ -212,6 +229,30 @@ void print_usage(const char* prog, std::FILE* out) {
       "                    (schema ppgr.engine.v1)\n"
       "  --demo            run a built-in 4-session batch instead of a file\n"
       "  --help            show this message\n"
+      "\n"
+      "Per-session exports (FILE gains the session id before its extension,\n"
+      "m.json -> m.7.json; every path is opened up front and an unwritable\n"
+      "one exits 2 before any session runs):\n"
+      "  --metrics-out FILE   per-phase crypto-op counters with timing\n"
+      "                       (schema ppgr.metrics.v1)\n"
+      "  --trace-out FILE     per-session Chrome trace-event JSON\n"
+      "  --comm-out FILE      measured communication (schema ppgr.comm.v1)\n"
+      "  --stitched-trace-out FILE\n"
+      "                       ONE engine-wide Chrome trace: every session's\n"
+      "                       spans on a shared wall-clock timeline\n"
+      "                       (pid = session, tid = party)\n"
+      "\n"
+      "Live telemetry (wall-clock observations; never affects the\n"
+      "deterministic exports above):\n"
+      "  --telemetry-out FILE   background sampler JSONL stream, one\n"
+      "                         ppgr.telemetry.v1 object per line\n"
+      "  --openmetrics-out FILE OpenMetrics exposition file, atomically\n"
+      "                         replaced every period (Prometheus scrape)\n"
+      "  --health-out FILE      final ppgr.health.v1 verdict after the batch\n"
+      "  --telemetry-period S   sampler period in seconds (default 0.1)\n"
+      "  --stall-deadline S     watchdog: a session is stalled when its\n"
+      "                         phase/round has not advanced for S seconds\n"
+      "                         (default 5.0)\n"
       "\n"
       "Per-session request directives also include:\n"
       "  fault-plan <spec>    deterministic fault injection for this session\n"
@@ -237,6 +278,15 @@ int main(int argc, char** argv) {
   engine::EngineConfig cfg;
   cfg.seed = 1;
   std::string rollup_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string comm_path;
+  std::string stitched_path;
+  std::string telemetry_path;
+  std::string openmetrics_path;
+  std::string health_path;
+  double telemetry_period = 0.1;
+  double stall_deadline = 5.0;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg{argv[i]};
@@ -258,6 +308,26 @@ int main(int argc, char** argv) {
         cfg.parallelism = std::stoul(value());
       } else if (arg == "--rollup-out") {
         rollup_path = value();
+      } else if (arg == "--metrics-out") {
+        metrics_path = value();
+      } else if (arg == "--trace-out") {
+        trace_path = value();
+      } else if (arg == "--comm-out") {
+        comm_path = value();
+      } else if (arg == "--stitched-trace-out") {
+        stitched_path = value();
+      } else if (arg == "--telemetry-out") {
+        telemetry_path = value();
+      } else if (arg == "--openmetrics-out") {
+        openmetrics_path = value();
+      } else if (arg == "--health-out") {
+        health_path = value();
+      } else if (arg == "--telemetry-period") {
+        telemetry_period = std::stod(value());
+        if (telemetry_period <= 0.0)
+          throw std::invalid_argument("--telemetry-period must be > 0");
+      } else if (arg == "--stall-deadline") {
+        stall_deadline = std::stod(value());
       } else if (input_path.empty() && arg[0] != '-') {
         input_path = arg;
       } else {
@@ -280,9 +350,53 @@ int main(int argc, char** argv) {
       parsed = parse_file(input_path);
     for (const std::string& err : parsed.errors)
       std::fprintf(stderr, "request error: %s\n", err.c_str());
+
+    // Per-session export files: derive every path up front and open with
+    // the bench fail-fast contract (exit 2) — a typo'd directory must not
+    // cost the batch. Keyed by session id; written as results come back.
+    std::map<std::uint64_t, std::ofstream> metrics_outs;
+    std::map<std::uint64_t, std::ofstream> trace_outs;
+    std::map<std::uint64_t, std::ofstream> comm_outs;
+    for (const auto& req : parsed.reqs) {
+      const std::uint64_t sid = req.session_id;
+      if (!metrics_path.empty())
+        metrics_outs.emplace(
+            sid, bench::open_bench_out(per_session_path(metrics_path, sid)));
+      if (!trace_path.empty())
+        trace_outs.emplace(
+            sid, bench::open_bench_out(per_session_path(trace_path, sid)));
+      if (!comm_path.empty())
+        comm_outs.emplace(
+            sid, bench::open_bench_out(per_session_path(comm_path, sid)));
+    }
+    std::optional<std::ofstream> stitched_out;
+    if (!stitched_path.empty())
+      stitched_out = bench::open_bench_out(stitched_path);
+    std::optional<std::ofstream> health_out;
+    if (!health_path.empty())
+      health_out = bench::open_bench_out(health_path);
+
+    // Any telemetry output also turns on the rollup's latency/health
+    // sections (EngineConfig::telemetry).
+    const bool telemetry_on = !telemetry_path.empty() ||
+                              !openmetrics_path.empty() ||
+                              !health_path.empty();
+    cfg.telemetry = cfg.telemetry || telemetry_on;
+
     std::size_t rejected = 0;
     std::size_t faulted = 0;
     engine::SessionEngine eng{cfg};
+
+    std::unique_ptr<engine::EngineSampler> sampler;
+    if (!telemetry_path.empty() || !openmetrics_path.empty()) {
+      engine::EngineSampler::Config scfg;
+      scfg.period_s = telemetry_period;
+      scfg.stall_deadline_s = stall_deadline;
+      scfg.jsonl_path = telemetry_path;
+      scfg.openmetrics_path = openmetrics_path;
+      sampler = std::make_unique<engine::EngineSampler>(eng, scfg);
+      sampler->start();
+    }
 
     std::printf("ppgr_server: %zu session(s), max_in_flight=%zu, "
                 "parallelism=%zu, seed=%llu\n\n",
@@ -302,8 +416,22 @@ int main(int argc, char** argv) {
                      engine::to_string(e.code()), e.what());
       }
     }
+    std::vector<engine::SessionResult> results;
+    results.reserve(ids.size());
     for (const std::uint64_t sid : ids) {
-      const engine::SessionResult res = eng.take(sid);
+      results.push_back(eng.take(sid));
+      const engine::SessionResult& res = results.back();
+      // Per-session exports: a faulted session has no observability payload
+      // (he/ss are empty), so its pre-opened files stay empty.
+      if (auto it = metrics_outs.find(sid);
+          it != metrics_outs.end() && res.metrics() != nullptr)
+        it->second << res.metrics()->to_json(/*include_timing=*/true);
+      if (auto it = trace_outs.find(sid);
+          it != trace_outs.end() && res.spans() != nullptr)
+        it->second << res.spans()->chrome_trace_json(/*deterministic=*/false);
+      if (auto it = comm_outs.find(sid);
+          it != comm_outs.end() && res.comm() != nullptr)
+        it->second << res.comm()->to_json();
       if (res.outcome == engine::SessionOutcome::kFault) {
         ++faulted;
         std::printf("session %llu (%s): FAULT\n", (unsigned long long)sid,
@@ -322,6 +450,30 @@ int main(int argc, char** argv) {
         std::printf("%s%zu", j == 0 ? "" : " ", sub[j]);
       std::printf("], %.3fs\n", res.wall_seconds);
     }
+    // The sampler's stop() takes one final sample, so the drained state is
+    // the last JSONL line and the exposition file's final content.
+    if (sampler != nullptr) {
+      sampler->stop();
+      std::printf("telemetry: %llu sample(s)%s%s%s%s\n",
+                  static_cast<unsigned long long>(sampler->samples()),
+                  telemetry_path.empty() ? "" : ", JSONL ",
+                  telemetry_path.c_str(),
+                  openmetrics_path.empty() ? "" : ", OpenMetrics ",
+                  openmetrics_path.c_str());
+    }
+    if (health_out) {
+      *health_out << engine::snapshot(eng, stall_deadline).health_json();
+      std::printf("health JSON written to %s\n", health_path.c_str());
+    }
+    if (stitched_out) {
+      std::vector<const engine::SessionResult*> ptrs;
+      ptrs.reserve(results.size());
+      for (const auto& r : results) ptrs.push_back(&r);
+      *stitched_out << engine::stitched_trace_json(ptrs);
+      std::printf("stitched engine trace written to %s (open in Perfetto)\n",
+                  stitched_path.c_str());
+    }
+
     const engine::PrecomputeStats stats = eng.precompute_stats();
     std::printf("\nprecompute cache: %llu hits, %llu misses "
                 "(tables: gen %llu/%llu, key %llu/%llu; pools %llu/%llu)\n",

@@ -48,6 +48,14 @@ NOISY_KEY_PARTS = (
     "total_seconds",  # wall-clock op-latency totals in ppgr.metrics.v1
     "hardware_concurrency",
     "ge_ns",  # latency histogram bin floors
+    # Live-telemetry observables (engine rollup "latency"/"health" sections,
+    # BENCH_engine.json "telemetry" block): wall-clock-derived by design.
+    "queue_wait",  # queue_wait_p50_seconds / queue_wait_p99_seconds
+    "run_duration",  # run_duration_p50_seconds / run_duration_p99_seconds
+    "overhead",  # sampler overhead ratio in BENCH_engine.json
+    "samples",  # sampler tick count — period / scheduling dependent
+    "stalls",  # watchdog observation count — snapshot-timing dependent
+    "uptime",
 )
 
 # Fault-injection and channel-recovery observables (ppgr.fault.v1 sections,

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition file.
+
+Checks the subset of the OpenMetrics spec the telemetry layer relies on
+(src/runtime/telemetry.h OpenMetricsBuilder + engine/introspect.cpp):
+
+  - the file ends with exactly one '# EOF' line and nothing follows it;
+  - every '# TYPE' declares a known type (gauge / counter / histogram) and
+    no family is declared twice;
+  - every sample line parses (name{labels} value), its labels are
+    well-formed, and its metric name belongs to the *current* family —
+    samples of one family are contiguous, never interleaved with another;
+  - histogram families expose conventional _bucket/_sum/_count series, the
+    cumulative buckets are non-decreasing in 'le' order, a '+Inf' bucket is
+    present per label set, and _count equals the +Inf bucket.
+
+Usage: check_openmetrics.py FILE [FILE...]
+Exit:  0 when every file validates, 1 otherwise (problems on stderr).
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"       # metric name
+    r"(?:\{([^}]*)\})?"                   # optional {labels}
+    r" (-?(?:[0-9]*\.)?[0-9]+(?:[eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+TYPES = {"gauge", "counter", "histogram"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw):
+    """'a="x",b="y"' -> dict; raises ValueError on malformed pairs."""
+    if not raw:
+        return {}
+    out = {}
+    for pair in raw.split(","):
+        if not LABEL_RE.match(pair):
+            raise ValueError(f"malformed label pair '{pair}'")
+        name, value = pair.split("=", 1)
+        out[name] = value.strip('"')
+    return out
+
+
+def check(path):
+    problems = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing terminating '# EOF' line")
+    if lines.count("# EOF") > 1:
+        problems.append("more than one '# EOF' line")
+
+    declared = {}          # family -> type
+    current = None         # family of the contiguous sample block
+    # histogram bookkeeping: (family, labels-without-le) -> state
+    buckets = {}           # -> list of (le, value)
+    counts = {}            # -> _count value
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: content after '# EOF'")
+            break
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                problems.append(f"line {lineno}: bad TYPE line '{line}'")
+                continue
+            family = parts[2]
+            if family in declared:
+                problems.append(
+                    f"line {lineno}: family '{family}' declared twice")
+            declared[family] = parts[3]
+            current = family
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(" ", 3)) < 4:
+                problems.append(f"line {lineno}: bad HELP line '{line}'")
+            continue
+        if line.startswith("#") or line == "":
+            problems.append(f"line {lineno}: unexpected line '{line}'")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparsable sample '{line}'")
+            continue
+        name, raw_labels, value = m.groups()
+        try:
+            labels = parse_labels(raw_labels)
+        except ValueError as e:
+            problems.append(f"line {lineno}: {e}")
+            continue
+
+        if current is None:
+            problems.append(f"line {lineno}: sample before any TYPE line")
+            continue
+        if declared.get(current) == "histogram":
+            ok = name == current or any(
+                name == current + s for s in HIST_SUFFIXES)
+        else:
+            ok = name == current
+        if not ok:
+            problems.append(
+                f"line {lineno}: sample '{name}' outside its family block "
+                f"(current family: '{current}')")
+            continue
+
+        if declared.get(current) == "histogram" and name != current:
+            key_labels = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le"))
+            key = (current, key_labels)
+            if name == current + "_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without 'le'")
+                    continue
+                le = (float("inf") if labels["le"] == "+Inf"
+                      else float(labels["le"]))
+                buckets.setdefault(key, []).append(
+                    (lineno, le, float(value)))
+            elif name == current + "_count":
+                counts[key] = (lineno, float(value))
+
+    for (family, _labels), series in buckets.items():
+        prev = None
+        for lineno, le, value in series:
+            if prev is not None and value < prev:
+                problems.append(
+                    f"line {lineno}: histogram '{family}' bucket not "
+                    f"cumulative ({value} < {prev})")
+            prev = value
+        if not any(le == float("inf") for _, le, _v in series):
+            problems.append(f"histogram '{family}' has no '+Inf' bucket")
+        key = (family, _labels)
+        if key in counts:
+            inf_value = [v for _, le, v in series if le == float("inf")]
+            if inf_value and counts[key][1] != inf_value[0]:
+                problems.append(
+                    f"histogram '{family}': _count {counts[key][1]} != "
+                    f"+Inf bucket {inf_value[0]}")
+
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    bad = 0
+    for path in argv[1:]:
+        problems = check(path)
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

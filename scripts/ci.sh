@@ -32,6 +32,14 @@
 # accel-off bit-identity test run under ASan+UBSan — index arithmetic over
 # window digits and bucket arrays is exactly the surface ASan watches.
 #
+# The `telemetry` mode is the live-observability leg: the telemetry suite
+# (sampler lifecycle, concurrent snapshot-vs-absorb races, the telemetry-off
+# golden non-perturbation invariant, OpenMetrics exposition validated by
+# scripts/check_openmetrics.py from inside the test) plus the engine
+# watchdog stalled->fault test run under TSan — samplers and watchdogs read
+# engine state while sixteen driver threads mutate it, which is exactly the
+# surface TSan exists for.
+#
 # The `bench-regress` mode is the perf-regression gate: it reruns the
 # parallel_speedup and engine_throughput benches with the checked-in
 # baselines' exact configurations and compares both fresh reports against
@@ -43,7 +51,7 @@
 #   ./build/bench/parallel_speedup --out BENCH_parallel.json
 #   ./build/bench/engine_throughput --out BENCH_engine.json
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|bench-regress|all]
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -88,16 +96,18 @@ case "${MODE}" in
     run_leg tsan -R 'engine_fault'
     ;;
   multiexp) run_leg asan -R 'multiexp|batch_inverse|parallel_determinism' ;;
+  telemetry) run_leg tsan -R 'telemetry|engine_fault' ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
     run_leg asan
     run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
     run_leg tsan -R 'engine'
+    run_leg tsan -R 'telemetry|engine_fault'
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|bench-regress|all]" >&2
     exit 2
     ;;
 esac

@@ -591,6 +591,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   // fault schedule is independent of cfg.parallelism.
   net::Router::Config router_cfg;
   router_cfg.faults = cfg.fault_plan;
+  router_cfg.progress = cfg.progress;
   net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
 
   // Typed failure constructors (DESIGN.md Sec. 7). Channel errors carry the

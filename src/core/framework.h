@@ -40,6 +40,7 @@
 #include "runtime/comm.h"
 #include "runtime/metrics.h"
 #include "runtime/span.h"
+#include "runtime/telemetry.h"
 #include "runtime/trace.h"
 
 namespace ppgr::runtime {
@@ -172,6 +173,12 @@ struct FrameworkConfig {
   /// outlive the run. Null or disabled: the fault layer is a strict no-op
   /// and every output/export is bit-identical to a build without it.
   const net::FaultPlan* fault_plan = nullptr;
+  /// Live round-progress hook (see runtime/telemetry.h): the run's Router
+  /// reports (phase, round) at every phase change and round barrier, which
+  /// is what the session engine's stall watchdog watches. Must outlive the
+  /// run. Null (the default): zero overhead; never affects outputs either
+  /// way — progress reporting is observation, not computation.
+  runtime::ProgressSink* progress = nullptr;
   /// Dropout policy: when a participant is declared dead *before the
   /// phase-2 commitment* (i.e. during phase 1), rerun the protocol over the
   /// surviving party set instead of aborting — the paper's β_j ordering is

@@ -48,6 +48,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   }
   net::Router::Config router_cfg;
   router_cfg.faults = base.fault_plan;
+  router_cfg.progress = base.progress;
   net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
 
   // Fault handling mirrors run_framework: channel-layer failures surface as

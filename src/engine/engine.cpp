@@ -1,9 +1,11 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 namespace ppgr::engine {
 
@@ -47,6 +49,15 @@ void append_counters(std::string& out, const CacheCounters& c) {
   appendf(out, "{\"hits\": %llu, \"misses\": %llu}",
           static_cast<unsigned long long>(c.hits),
           static_cast<unsigned long long>(c.misses));
+}
+
+// Nearest-rank quantile over an unsorted sample set (sorts in place).
+double quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(rank == 0 ? 0 : rank - 1, v.size() - 1)];
 }
 
 // Fault causes embed channel-error text; escape the JSON specials so the
@@ -218,7 +229,7 @@ std::uint64_t SessionEngine::submit(RankingRequest req) {
                             ": duplicate session id");
     if (req.fault_plan.enabled() || req.degrade_on_dropout)
       fault_aware_ = true;
-    queue_.push_back(std::move(req));
+    queue_.push_back(Queued{std::move(req), runtime::metrics_now_seconds()});
   }
   work_cv_.notify_one();
   return sid;
@@ -227,27 +238,48 @@ std::uint64_t SessionEngine::submit(RankingRequest req) {
 void SessionEngine::driver_loop() {
   for (;;) {
     RankingRequest req;
+    LiveSession* live = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_) return;  // queued-but-unstarted work is discarded
-      req = std::move(queue_.front());
+      Queued q = std::move(queue_.front());
       queue_.pop_front();
+      req = std::move(q.req);
       ++active_;
       peak_ = std::max(peak_, active_);
+      auto ls = std::make_unique<LiveSession>();
+      ls->id = req.session_id;
+      ls->framework = req.framework;
+      ls->n = req.infos.size();
+      ls->k = req.k;
+      ls->submit_s = q.submit_s;
+      ls->start_s = runtime::metrics_now_seconds();
+      live = ls.get();
+      live_.emplace(req.session_id, std::move(ls));
     }
+    const double queue_wait_s = live->start_s - live->submit_s;
     SessionResult res;
     std::exception_ptr err;
     try {
-      res = execute(req);
+      res = execute(req, &live->progress);
     } catch (...) {
       err = std::current_exception();
     }
     {
       const std::lock_guard<std::mutex> lock(mu_);
+      const std::uint64_t stalls =
+          live->stalls.load(std::memory_order_relaxed);
+      stalls_total_ += stalls;
+      live_.erase(req.session_id);
+      const auto kind = static_cast<std::size_t>(req.framework);
+      queue_wait_hist_[kind].add_seconds(queue_wait_s);
       if (err != nullptr) {
+        ++faulted_done_;
         failed_.emplace(req.session_id, err);
       } else {
+        run_hist_[kind].add_seconds(res.wall_seconds);
+        if (res.outcome == SessionOutcome::kFault) ++faulted_done_;
         Summary s;
         s.framework = res.framework;
         s.group_name = group::to_string(req.group);
@@ -265,6 +297,9 @@ void SessionEngine::driver_loop() {
         }
         s.outcome = res.outcome;
         s.fault = res.fault;
+        s.queue_wait_s = queue_wait_s;
+        s.run_s = res.wall_seconds;
+        s.stalls = stalls;
         summaries_.emplace(req.session_id, std::move(s));
         totals_ += res.precompute;
         const CacheCounters t = res.precompute.total();
@@ -282,7 +317,8 @@ void SessionEngine::driver_loop() {
   }
 }
 
-SessionResult SessionEngine::execute(const RankingRequest& req) {
+SessionResult SessionEngine::execute(const RankingRequest& req,
+                                     runtime::ProgressCell* progress) {
   const double t0 = runtime::metrics_now_seconds();
   SessionResult out;
   out.id = req.session_id;
@@ -300,6 +336,9 @@ SessionResult SessionEngine::execute(const RankingRequest& req) {
   fcfg.group = &group_instance(req.group);
   fcfg.dot_field = &core::default_dot_field();
   fcfg.metrics = cfg_.metrics;
+  // Progress reporting is observation only — the cell never feeds back into
+  // the protocol, so outputs are identical with or without it.
+  fcfg.progress = progress;
 
   // Fault isolation: a ProtocolFault is a *result* (outcome = kFault), not a
   // driver-thread exception — the session slot frees normally and nothing
@@ -420,6 +459,46 @@ std::string SessionEngine::rollup_json() const {
       ++(s.outcome == SessionOutcome::kOk ? ok : faulted);
     appendf(out, "  \"outcomes\": {\"ok\": %zu, \"fault\": %zu},\n", ok,
             faulted);
+  }
+  if (cfg_.telemetry) {
+    // Live-telemetry sections (EngineConfig::telemetry): wall-clock-derived
+    // latency quantiles per session kind and the end-of-run health verdict.
+    // Nondeterministic by nature — scripts/bench_compare.py treats the
+    // *_seconds keys as noisy, and the golden rollup pins telemetry=false.
+    out += "  \"latency\": {";
+    bool first_kind = true;
+    for (std::size_t kind = 0; kind < 2; ++kind) {
+      std::vector<double> waits;
+      std::vector<double> runs;
+      for (const auto& [sid, s] : summaries_) {
+        if (static_cast<std::size_t>(s.framework) != kind) continue;
+        waits.push_back(s.queue_wait_s);
+        runs.push_back(s.run_s);
+      }
+      if (waits.empty()) continue;
+      appendf(out, "%s\n    \"%s\": {\"sessions\": %zu,\n     ",
+              first_kind ? "" : ",", to_string(static_cast<FrameworkKind>(kind)),
+              waits.size());
+      appendf(out, "\"queue_wait_p50_seconds\": %.9f, ", quantile(waits, 0.50));
+      appendf(out, "\"queue_wait_p99_seconds\": %.9f,\n     ",
+              quantile(waits, 0.99));
+      appendf(out, "\"run_duration_p50_seconds\": %.9f, ",
+              quantile(runs, 0.50));
+      appendf(out, "\"run_duration_p99_seconds\": %.9f}",
+              quantile(runs, 0.99));
+      first_kind = false;
+    }
+    out += "\n  },\n";
+    // A drained engine cannot be stalled: health reduces to the outcome
+    // counts, which *are* deterministic. The stall tally is the watchdog's
+    // observation count and is not.
+    std::size_t faulted = 0;
+    for (const auto& [sid, s] : summaries_)
+      if (s.outcome == SessionOutcome::kFault) ++faulted;
+    appendf(out, "  \"health\": {\"state\": \"%s\", \"stalls\": %llu},\n",
+            runtime::to_string(faulted != 0 ? runtime::HealthState::kDegraded
+                                            : runtime::HealthState::kOk),
+            static_cast<unsigned long long>(stalls_total_));
   }
   out += "  \"cache\": {\n    \"generator_tables\": ";
   append_counters(out, totals_.generator_table);

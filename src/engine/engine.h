@@ -23,6 +23,8 @@
 // which must not see history-dependent counts.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,9 +41,12 @@
 #include "core/framework.h"
 #include "core/ss_framework.h"
 #include "engine/precompute.h"
+#include "runtime/telemetry.h"
 #include "runtime/thread_pool.h"
 
 namespace ppgr::engine {
+
+struct EngineSnapshot;  // engine/introspect.h
 
 /// Which framework serves the session: the paper's HE protocol or the
 /// secret-sharing baseline (Sec. VII).
@@ -148,6 +153,12 @@ struct SessionResult {
     return framework == FrameworkKind::kHe ? he.metrics.get()
                                            : ss.metrics.get();
   }
+  [[nodiscard]] const runtime::SpanRecorder* spans() const {
+    return framework == FrameworkKind::kHe ? he.spans.get() : ss.spans.get();
+  }
+  [[nodiscard]] const runtime::CommRegistry* comm() const {
+    return framework == FrameworkKind::kHe ? he.comm.get() : ss.comm.get();
+  }
 
   double wall_seconds = 0.0;   // execution start -> completion (noisy)
   double setup_seconds = 0.0;  // time inside precompute fetch/build (noisy)
@@ -179,6 +190,13 @@ struct EngineConfig {
   bool share_precompute = true;
   /// Cache to share (when share_precompute); null = the process-wide one.
   PrecomputeCache* cache = nullptr;
+  /// Enables the rollup's live-telemetry sections: per-kind queue-wait /
+  /// run-duration quantiles and the health summary. Off by default — those
+  /// values are wall-clock-derived and so nondeterministic, and the golden
+  /// rollup (tests/golden/engine_small.json) pins the off state, which stays
+  /// byte-identical to the pre-telemetry schema. Live snapshots
+  /// (engine/introspect.h) work regardless of this flag.
+  bool telemetry = false;
 };
 
 class SessionEngine {
@@ -222,6 +240,12 @@ class SessionEngine {
   [[nodiscard]] std::string rollup_json() const;
 
  private:
+  /// The live-telemetry observer (engine/introspect.h): reads queue / live /
+  /// completion state under mu_ and the per-session progress cells lock-free,
+  /// and bumps the sticky stall counters of sessions it judges stalled.
+  friend EngineSnapshot snapshot(SessionEngine& engine,
+                                 double stall_deadline_s);
+
   struct Summary {
     FrameworkKind framework = FrameworkKind::kHe;
     std::string group_name;
@@ -237,11 +261,39 @@ class SessionEngine {
     runtime::OpTally ops;
     SessionOutcome outcome = SessionOutcome::kOk;
     std::optional<core::FaultInfo> fault;
+    double queue_wait_s = 0.0;   // submit() -> driver claim (noisy)
+    double run_s = 0.0;          // driver claim -> completion (noisy)
+    std::uint64_t stalls = 0;    // watchdog observations while running
+  };
+
+  /// A submitted-but-unstarted session plus its admission timestamp (the
+  /// queue-wait clock starts at submit()).
+  struct Queued {
+    RankingRequest req;
+    double submit_s = 0.0;
+  };
+
+  /// Live view of one executing session, shared between the driver thread
+  /// that owns it and observer threads (engine/introspect.h). The map entry
+  /// exists exactly while the session executes: created under mu_ when a
+  /// driver claims the request, erased under mu_ when the result lands. The
+  /// progress cell and stall counter are atomics, so observers read them
+  /// without ever blocking protocol work.
+  struct LiveSession {
+    std::uint64_t id = 0;
+    FrameworkKind framework = FrameworkKind::kHe;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    double submit_s = 0.0;  // submit() time (steady-clock seconds)
+    double start_s = 0.0;   // driver claim time
+    runtime::ProgressCell progress;
+    std::atomic<std::uint64_t> stalls{0};  // sticky watchdog flag count
   };
 
   void validate(const RankingRequest& req) const;
   void driver_loop();
-  [[nodiscard]] SessionResult execute(const RankingRequest& req);
+  [[nodiscard]] SessionResult execute(const RankingRequest& req,
+                                      runtime::ProgressCell* progress);
   [[nodiscard]] const group::Group& group_instance(group::GroupId id);
 
   EngineConfig cfg_;
@@ -255,14 +307,22 @@ class SessionEngine {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::deque<RankingRequest> queue_;
+  std::deque<Queued> queue_;
   std::set<std::uint64_t> known_ids_;
   std::map<std::uint64_t, SessionResult> done_;
   std::map<std::uint64_t, std::exception_ptr> failed_;
   std::map<std::uint64_t, Summary> summaries_;
+  std::map<std::uint64_t, std::unique_ptr<LiveSession>> live_;
+  /// Per-kind (FrameworkKind index) latency histograms over completed
+  /// sessions — the live snapshot's queue-wait / run-duration view.
+  std::array<runtime::LatencyHistogram, 2> queue_wait_hist_{};
+  std::array<runtime::LatencyHistogram, 2> run_hist_{};
+  double born_s_ = runtime::metrics_now_seconds();  // engine start (uptime)
   PrecomputeStats totals_;
   std::size_t active_ = 0;
   std::size_t peak_ = 0;
+  std::size_t faulted_done_ = 0;      // kFault results + driver exceptions
+  std::uint64_t stalls_total_ = 0;    // stall flags of *completed* sessions
   bool stop_ = false;
   /// Latches true once any submitted request carries a fault plan (or
   /// degrade flag); only then does rollup_json() emit the per-outcome counts

@@ -38,7 +38,8 @@ Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
       node_of_(cfg.topo != nullptr ? std::move(cfg.node_of)
                                    : std::vector<std::size_t>{}),
       sim_(*topo_, cfg.sim),
-      mailboxes_(parties * parties) {
+      mailboxes_(parties * parties),
+      progress_(cfg.progress) {
   if (parties_ < 2) throw std::invalid_argument("Router: need >= 2 parties");
   if (node_of_.empty()) {
     node_of_.resize(parties_);
@@ -65,6 +66,7 @@ Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
 void Router::set_phase(runtime::Phase p) {
   if (comm_ != nullptr) comm_->set_phase(p);
   phase_ = p;
+  if (progress_ != nullptr) progress_->advance(phase_, round_index_);
   if (faults_ == nullptr) return;
   for (const std::size_t party : faults_->crashes_at(p)) {
     if (party >= parties_ || dead_[party] != 0) continue;
@@ -376,6 +378,7 @@ void Router::next_round() {
   }
   trace_.next_round();
   ++round_index_;
+  if (progress_ != nullptr) progress_->advance(phase_, round_index_);
 }
 
 std::size_t Router::pending() const { return pending_; }

@@ -54,6 +54,7 @@
 #include "net/simulator.h"
 #include "net/topology.h"
 #include "runtime/comm.h"
+#include "runtime/telemetry.h"
 #include "runtime/trace.h"
 #include "runtime/wire.h"
 
@@ -73,6 +74,12 @@ class Router {
     /// Optional fault schedule; must outlive the router. A null or disabled
     /// plan leaves the router's behavior (and wire bytes) untouched.
     const FaultPlan* faults = nullptr;
+    /// Optional round-progress hook (live telemetry): notified with the
+    /// current (phase, closed-round index) at every set_phase() and
+    /// next_round(). Must outlive the router and be safe to call from the
+    /// orchestrator thread while other threads read (runtime::ProgressCell
+    /// is). Null: zero overhead, no behavior change.
+    runtime::ProgressSink* progress = nullptr;
   };
 
   /// `trace` must outlive the router; `comm` may be null (byte accounting
@@ -160,6 +167,8 @@ class Router {
       mailboxes_;
   std::vector<runtime::Transfer> round_;  // current round, for the simulator
   std::size_t pending_ = 0;
+
+  runtime::ProgressSink* progress_ = nullptr;  // round-progress hook
 
   // Fault-plan state (inert when faults_ == nullptr).
   const FaultPlan* faults_ = nullptr;

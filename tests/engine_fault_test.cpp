@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/introspect.h"
 
 namespace ppgr::engine {
 namespace {
@@ -232,6 +233,74 @@ TEST(EngineFault, RejectionMessagesNameTheSession) {
         << e.what();
   }
   engine.drain();
+}
+
+// Watchdog end-to-end on a doomed session: while the crash-planned session
+// is in flight, a zero-deadline snapshot must report it stalled (health
+// kStalled, sticky stall counter bumped); once it dies, the engine reports
+// the typed fault and the post-mortem snapshot degrades to kDegraded with
+// the stall history preserved. Injected fault delays are *virtual* time, so
+// the test uses the `stall_deadline_s <= 0` hook (flags any in-flight
+// session) instead of waiting out a wall-clock deadline.
+TEST(EngineFault, WatchdogReportsCrashSessionStalledThenFault) {
+  EngineConfig cfg;
+  cfg.seed = 59;
+  cfg.max_in_flight = 1;
+  SessionEngine engine{cfg};
+
+  // A doomed session is only a few milliseconds of real work before its
+  // phase-2 crash, so on a busy/single-core host the scheduler can run it
+  // to completion between two snapshots of the observer thread. Each
+  // attempt observes with high probability; fresh doomed sessions are
+  // submitted until one is caught in flight.
+  bool saw_stalled = false;
+  std::uint64_t sticky_stalls = 0;
+  std::size_t attempts = 0;
+  for (; attempts < 20 && !saw_stalled; ++attempts) {
+    const std::uint64_t sid = 21 + attempts;
+    RankingRequest doomed = make_request(sid, /*n=*/12, /*k=*/2);
+    doomed.fault_plan = net::parse_fault_plan("crash=2@2");
+    doomed.fault_plan.seed = 121 + attempts;
+    engine.submit(std::move(doomed));
+
+    for (;;) {
+      const EngineSnapshot s = snapshot(engine, /*stall_deadline_s=*/0.0);
+      if (!s.sessions.empty()) {
+        const SessionTelemetry& t = s.sessions.front();
+        EXPECT_EQ(t.id, sid);
+        EXPECT_TRUE(t.stalled);  // zero deadline flags any live session
+        saw_stalled = true;
+        sticky_stalls = t.stalls;
+        EXPECT_EQ(s.health, runtime::HealthState::kStalled);
+        EXPECT_GE(s.stalls_total, 1u);
+        EXPECT_NE(s.to_jsonl().find("\"stalled\": true"), std::string::npos);
+        EXPECT_NE(s.health_json().find("\"stalled_sessions\": [" +
+                                       std::to_string(sid) + "]"),
+                  std::string::npos);
+        break;
+      }
+      if (s.queued == 0 && s.in_flight == 0) break;  // finished unobserved
+    }
+
+    // Observed or not, the doomed session must surface as a typed fault.
+    const SessionResult res = engine.take(sid);
+    EXPECT_EQ(res.outcome, SessionOutcome::kFault);
+    ASSERT_TRUE(res.fault.has_value());
+    EXPECT_EQ(res.fault->phase, runtime::Phase::kPhase2);
+  }
+  EXPECT_TRUE(saw_stalled)
+      << "watchdog never observed a doomed session in " << attempts
+      << " attempts";
+  EXPECT_GE(sticky_stalls, 1u);
+
+  // Post-mortem: nothing live, so no stall verdict — but the faults keep
+  // health degraded and the stall total is preserved.
+  const EngineSnapshot after = snapshot(engine, /*stall_deadline_s=*/5.0);
+  EXPECT_EQ(after.in_flight, 0u);
+  EXPECT_EQ(after.completed, attempts);
+  EXPECT_EQ(after.faulted, attempts);
+  EXPECT_EQ(after.health, runtime::HealthState::kDegraded);
+  EXPECT_GE(after.stalls_total, 1u);
 }
 
 }  // namespace
