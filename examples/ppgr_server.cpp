@@ -48,6 +48,7 @@
 #include "bench/bench_flags.h"
 #include "engine/engine.h"
 #include "engine/introspect.h"
+#include "engine/session_log.h"
 
 namespace {
 
@@ -242,6 +243,27 @@ void print_usage(const char* prog, std::FILE* out) {
       "                       spans on a shared wall-clock timeline\n"
       "                       (pid = session, tid = party)\n"
       "\n"
+      "Forensics & conformance (observation-only; with all of these off\n"
+      "every deterministic export is byte-identical to a build without\n"
+      "them):\n"
+      "  --audit               attach a live conformance auditor to every\n"
+      "                        session: running counters are checked against\n"
+      "                        the closed-form model at each phase boundary;\n"
+      "                        confirmed drift is reported, lands in the\n"
+      "                        rollup and degrades engine health\n"
+      "  --flight-events N     per-session forensic flight recorder: a\n"
+      "                        bounded ring of the last N protocol events\n"
+      "                        (phase/round/send/retry/fault/cache), dumped\n"
+      "                        into the post-mortem bundle on fault\n"
+      "  --session-log-out FILE\n"
+      "                        wide-event session log: ONE ppgr.session.v1\n"
+      "                        JSON line per completed session\n"
+      "  --postmortem-dir DIR  on a session fault, write a self-contained\n"
+      "                        ppgr.postmortem.v1 bundle (wide event +\n"
+      "                        flight recording + fault report + last\n"
+      "                        telemetry snapshot) atomically to\n"
+      "                        DIR/session-<id>.postmortem.json\n"
+      "\n"
       "Live telemetry (wall-clock observations; never affects the\n"
       "deterministic exports above):\n"
       "  --telemetry-out FILE   background sampler JSONL stream, one\n"
@@ -263,10 +285,13 @@ void print_usage(const char* prog, std::FILE* out) {
       "Exit codes:\n"
       "  0  every request parsed, was admitted and completed with ranks\n"
       "  1  fatal error (unreadable request file, I/O failure, engine abort)\n"
-      "  2  usage error (bad command line)\n"
+      "  2  usage error (bad command line, unwritable output path)\n"
       "  3  batch degraded: at least one request was malformed (dropped at\n"
       "     parse), rejected at submit, or ended in a typed protocol fault —\n"
-      "     every such request is reported on stderr, the rest still ran\n",
+      "     every such request is reported on stderr, the rest still ran\n"
+      "  4  conformance drift: every session completed (no faults, nothing\n"
+      "     malformed) but --audit confirmed at least one divergence from\n"
+      "     the model — the numbers are suspect even though ranks delivered\n",
       prog, prog);
 }
 
@@ -285,6 +310,8 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string openmetrics_path;
   std::string health_path;
+  std::string session_log_path;
+  std::string postmortem_dir;
   double telemetry_period = 0.1;
   double stall_deadline = 5.0;
   try {
@@ -322,6 +349,16 @@ int main(int argc, char** argv) {
         openmetrics_path = value();
       } else if (arg == "--health-out") {
         health_path = value();
+      } else if (arg == "--audit") {
+        cfg.audit = true;
+      } else if (arg == "--flight-events") {
+        cfg.flight_events = std::stoul(value());
+        if (cfg.flight_events == 0)
+          throw std::invalid_argument("--flight-events must be > 0");
+      } else if (arg == "--session-log-out") {
+        session_log_path = value();
+      } else if (arg == "--postmortem-dir") {
+        postmortem_dir = value();
       } else if (arg == "--telemetry-period") {
         telemetry_period = std::stod(value());
         if (telemetry_period <= 0.0)
@@ -375,6 +412,16 @@ int main(int argc, char** argv) {
     std::optional<std::ofstream> health_out;
     if (!health_path.empty())
       health_out = bench::open_bench_out(health_path);
+    std::optional<std::ofstream> session_log_out;
+    if (!session_log_path.empty())
+      session_log_out = bench::open_bench_out(session_log_path);
+    if (!postmortem_dir.empty()) {
+      // Probe the directory with the same fail-fast contract: a bundle that
+      // cannot land when a session faults is an operator trap.
+      const std::string probe = postmortem_dir + "/.postmortem.probe";
+      bench::open_bench_out(probe);
+      std::remove(probe.c_str());
+    }
 
     // Any telemetry output also turns on the rollup's latency/health
     // sections (EngineConfig::telemetry).
@@ -405,8 +452,13 @@ int main(int argc, char** argv) {
     // Submit everything up front (open loop), then collect in order;
     // invalid requests are reported and skipped, valid ones still run.
     std::vector<std::uint64_t> ids;
+    // Request context the wide-event log needs but the result doesn't carry;
+    // captured before submit() moves the request away.
+    std::map<std::uint64_t, engine::SessionLogInfo> log_infos;
     for (auto& req : parsed.reqs) {
       const std::uint64_t sid = req.session_id;
+      log_infos[sid] = engine::SessionLogInfo{
+          group::to_string(req.group), req.infos.size(), req.k};
       try {
         ids.push_back(eng.submit(std::move(req)));
       } catch (const engine::EngineError& e) {
@@ -416,11 +468,39 @@ int main(int argc, char** argv) {
                      engine::to_string(e.code()), e.what());
       }
     }
+    std::size_t drifted = 0;
+    std::size_t log_failures = 0;
     std::vector<engine::SessionResult> results;
     results.reserve(ids.size());
     for (const std::uint64_t sid : ids) {
       results.push_back(eng.take(sid));
       const engine::SessionResult& res = results.back();
+      if (session_log_out)
+        *session_log_out << engine::session_wide_event_json(
+                                res, log_infos[sid])
+                         << '\n';
+      if (res.audit != nullptr && !res.audit->clean()) {
+        ++drifted;
+        for (const engine::AuditFinding& f : res.audit->findings)
+          std::fprintf(stderr, "audit drift: session %llu: %s\n",
+                       static_cast<unsigned long long>(sid),
+                       f.detail.c_str());
+      }
+      if (res.outcome == engine::SessionOutcome::kFault &&
+          !postmortem_dir.empty()) {
+        std::string err;
+        const std::string path =
+            engine::write_postmortem(postmortem_dir, res, log_infos[sid],
+                                     engine::snapshot(eng, stall_deadline)
+                                         .to_jsonl(),
+                                     &err);
+        if (path.empty()) {
+          ++log_failures;
+          std::fprintf(stderr, "postmortem error: %s\n", err.c_str());
+        } else {
+          std::printf("postmortem bundle written to %s\n", path.c_str());
+        }
+      }
       // Per-session exports: a faulted session has no observability payload
       // (he/ss are empty), so its pre-opened files stay empty.
       if (auto it = metrics_outs.find(sid);
@@ -465,6 +545,8 @@ int main(int argc, char** argv) {
       *health_out << engine::snapshot(eng, stall_deadline).health_json();
       std::printf("health JSON written to %s\n", health_path.c_str());
     }
+    if (session_log_out)
+      std::printf("session log written to %s\n", session_log_path.c_str());
     if (stitched_out) {
       std::vector<const engine::SessionResult*> ptrs;
       ptrs.reserve(results.size());
@@ -496,12 +578,22 @@ int main(int argc, char** argv) {
         throw std::runtime_error("failed writing '" + rollup_path + "'");
       std::printf("rollup JSON written to %s\n", rollup_path.c_str());
     }
+    if (log_failures != 0)
+      throw std::runtime_error("failed writing " +
+                               std::to_string(log_failures) +
+                               " postmortem bundle(s)");
     if (!parsed.errors.empty() || rejected != 0 || faulted != 0) {
       std::fprintf(stderr,
                    "batch degraded: %zu malformed line(s), %zu rejected, "
                    "%zu faulted\n",
                    parsed.errors.size(), rejected, faulted);
       return 3;
+    }
+    if (drifted != 0) {
+      std::fprintf(stderr, "conformance drift: %zu session(s) diverged "
+                           "from the model (see audit findings above)\n",
+                   drifted);
+      return 4;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -31,13 +31,16 @@ Leaves are classified by key:
     deliberately.
 
 Exit status: 0 = clean or warnings only, 1 = deterministic drift or shape
-mismatch, 2 = usage/IO error. Works on BENCH_parallel.json,
-BENCH_engine.json, ppgr.metrics.v1 and ppgr.comm.v1 documents alike (the
-classification is by key, not schema).
+mismatch, 2 = usage/IO error, 3 = a baseline file does not exist (first run
+on a fresh checkout / new bench: bootstrap it by copying the current
+report). Works on BENCH_parallel.json, BENCH_engine.json, ppgr.metrics.v1
+and ppgr.comm.v1 documents alike (the classification is by key, not
+schema).
 """
 
 import argparse
 import json
+import os
 import sys
 
 NOISY_KEY_PARTS = (
@@ -56,6 +59,7 @@ NOISY_KEY_PARTS = (
     "samples",  # sampler tick count — period / scheduling dependent
     "stalls",  # watchdog observation count — snapshot-timing dependent
     "uptime",
+    "per_event",  # calibrated flight-recorder record() cost (BENCH_engine)
 )
 
 # Fault-injection and channel-recovery observables (ppgr.fault.v1 sections,
@@ -76,6 +80,14 @@ EXACT_KEY_PARTS = (
     "outcome",  # engine per-outcome counts ("outcomes": {"ok": .., ..})
     "dropped_parties",
     "active_parties",
+    # Conformance-audit and flight-recorder observables (engine rollup
+    # "audit" block, BENCH_engine.json "flight" block, ppgr.audit.v1):
+    # counts of deterministic events, gated exactly.
+    "events_recorded",  # flight events per pass — a pure function of the run
+    "drifted",  # sessions whose audit found divergence
+    "findings",
+    "checkpoints",
+    "gate_pass",  # overhead-budget verdicts flip only on real regressions
 )
 
 
@@ -172,6 +184,17 @@ class Comparison:
 def compare_pair(baseline, current, wall_tolerance):
     """Compares one (baseline, current) report pair; returns the
     Comparison with its findings (messages prefixed with the pair name)."""
+    if not os.path.exists(baseline):
+        print(
+            f"error: baseline {baseline} does not exist.\n"
+            f"  First run for this bench? Bootstrap the baseline from the "
+            f"current report and commit it:\n"
+            f"    cp {current} {baseline}\n"
+            f"  (see scripts/ci.sh bench-regress for the regeneration "
+            f"workflow)",
+            file=sys.stderr,
+        )
+        sys.exit(3)
     cmp = Comparison(wall_tolerance)
     cmp.compare("", load_json(baseline), load_json(current))
     for msg in cmp.warnings:

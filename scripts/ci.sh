@@ -40,6 +40,19 @@
 # engine state while sixteen driver threads mutate it, which is exactly the
 # surface TSan exists for.
 #
+# The `audit` mode is the forensics/conformance leg: the flight-recorder
+# suite (ring semantics, Router taps), the conformance-audit suite (clean
+# runs audit to zero findings, faulted/degraded/tampered runs to typed
+# ones, postmortem atomicity) and the ppgr_server exit-contract integration
+# test run under ASan+UBSan; the concurrent record-vs-dump race in the
+# flight ring runs again under TSan (observer threads dump while the
+# orchestrator records).
+#
+# The `chaos` leg additionally drives one known-faulting scenario through
+# ppgr_server with --postmortem-dir build/chaos_postmortems/ and archives
+# the resulting ppgr.postmortem.v1 bundles — a failing chaos investigation
+# starts from a forensic flight recording, not from a rerun.
+#
 # The `bench-regress` mode is the perf-regression gate: it reruns the
 # parallel_speedup and engine_throughput benches with the checked-in
 # baselines' exact configurations and compares both fresh reports against
@@ -51,7 +64,7 @@
 #   ./build/bench/parallel_speedup --out BENCH_parallel.json
 #   ./build/bench/engine_throughput --out BENCH_engine.json
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|bench-regress|all]
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +95,43 @@ bench_regress() {
       BENCH_engine.json "${fresh_engine}"
 }
 
+# Archives forensic bundles from a known-faulting chaos scenario: a crash
+# plan kills a session, ppgr_server exits 3 (batch degraded) and the
+# postmortem bundle (wide event + flight recording + fault report) must
+# land in build/chaos_postmortems/ for the investigation.
+chaos_postmortems() {
+  echo "==== [chaos] archive postmortem bundles from a faulting run ===="
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target ppgr_server
+  local dir="build/chaos_postmortems"
+  mkdir -p "${dir}"
+  local req="${dir}/crash_scenario.req"
+  cat > "${req}" <<'EOF'
+session 1
+spec 4 2 8 4 8
+k 1
+criterion 35 120 0 0
+weights 10 5 2 1
+participant 34 118 90 55
+participant 52 160 20 90
+participant 35 121 40 40
+fault-plan seed=7,crash=2@1
+EOF
+  local status=0
+  ./build/examples/ppgr_server "${req}" --audit --flight-events 4096 \
+      --postmortem-dir "${dir}" \
+      --session-log-out "${dir}/sessions.jsonl" || status=$?
+  if [[ "${status}" -ne 3 ]]; then
+    echo "chaos_postmortems: expected exit 3 (batch degraded), got ${status}" >&2
+    exit 1
+  fi
+  if [[ ! -s "${dir}/session-1.postmortem.json" ]]; then
+    echo "chaos_postmortems: postmortem bundle did not land in ${dir}" >&2
+    exit 1
+  fi
+  echo "chaos postmortem bundles archived in ${dir}/"
+}
+
 case "${MODE}" in
   plain) run_leg default ;;
   asan) run_leg asan ;;
@@ -94,9 +144,14 @@ case "${MODE}" in
   chaos)
     run_leg asan -R '^fault_test$|chaos_test|wire_test|security_test'
     run_leg tsan -R 'engine_fault'
+    chaos_postmortems
     ;;
   multiexp) run_leg asan -R 'multiexp|batch_inverse|parallel_determinism' ;;
   telemetry) run_leg tsan -R 'telemetry|engine_fault' ;;
+  audit)
+    run_leg asan -R 'flightrec|audit_test|server_cli'
+    run_leg tsan -R 'flightrec'
+    ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
@@ -104,10 +159,11 @@ case "${MODE}" in
     run_leg tsan -R 'parallel_determinism|runtime_pool|framework_property'
     run_leg tsan -R 'engine'
     run_leg tsan -R 'telemetry|engine_fault'
+    run_leg tsan -R 'flightrec'
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|bench-regress|all]" >&2
     exit 2
     ;;
 esac

@@ -128,6 +128,17 @@ class Obs {
     sbufs_.clear();
   }
 
+  /// Drains the orchestrator buffer into the registry mid-run, so a reader
+  /// at a phase boundary (the audit checkpoints) sees complete totals — the
+  /// serial epilogues count serialization through this buffer, which is
+  /// otherwise only absorbed at destruction. Re-arms the context after the
+  /// absorb clears it.
+  void flush_orchestrator() {
+    if (!on()) return;
+    reg_->absorb(orch_buf_);
+    orch_buf_.set_context(phase_, runtime::kOrchestratorParty);
+  }
+
  private:
   runtime::MetricsRegistry* reg_;
   runtime::SpanRecorder* rec_;
@@ -592,6 +603,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   net::Router::Config router_cfg;
   router_cfg.faults = cfg.fault_plan;
   router_cfg.progress = cfg.progress;
+  router_cfg.flight = cfg.flight;
   net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
 
   // Typed failure constructors (DESIGN.md Sec. 7). Channel errors carry the
@@ -604,9 +616,24 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
                        std::to_string(router.round_index());
     if (party != kNoParty) what += ", party P" + std::to_string(party);
     what += "]";
+    // The fault is about to unwind past the result's registries: notify the
+    // observers now, while the evidence still exists.
+    if (cfg.flight != nullptr)
+      cfg.flight->record(
+          runtime::FlightEventKind::kFault, phase,
+          static_cast<std::uint16_t>(party == kNoParty ? 0 : party + 1), 0, 0,
+          router.round_index());
+    if (cfg.audit != nullptr) cfg.audit->run_faulted(phase);
     return ProtocolFault(
         FaultInfo{phase, router.round_index(), party, cause},
         router.fault_report(), what);
+  };
+  // Audit checkpoint: phase `completed` is done and its counters are final.
+  const auto audit_checkpoint = [&](Phase completed) {
+    if (cfg.audit == nullptr) return;
+    obs.flush_orchestrator();
+    cfg.audit->phase_complete(completed, result.metrics.get(),
+                              result.comm.get());
   };
   const auto blame = [&](const net::ChannelError& e) -> std::size_t {
     if (router.party_dead(e.src())) return e.src();
@@ -768,11 +795,20 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
       throw proto_fault(Phase::kPhase1, lost.front(),
                         "too few survivors to degrade (" +
                             std::to_string(survivors.size()) + " left)");
+    if (cfg.flight != nullptr)
+      cfg.flight->record(runtime::FlightEventKind::kDegrade, Phase::kPhase1,
+                         0, static_cast<std::uint32_t>(survivors.size()),
+                         static_cast<std::uint32_t>(lost.size()));
+    // The survivor-set rerun is a different instance: the auditor's
+    // reference no longer applies, so it is told about the degrade (a typed
+    // finding naming the dropped parties) and detached from the sub-run.
+    if (cfg.audit != nullptr) cfg.audit->run_degraded(lost);
     FrameworkConfig sub = cfg;
     sub.n = survivors.size();
     sub.k = std::min(cfg.k, sub.n);
     sub.fault_plan = nullptr;
     sub.degrade_on_dropout = false;
+    sub.audit = nullptr;
     std::vector<AttrVec> sub_infos;
     sub_infos.reserve(survivors.size());
     for (const std::size_t id : survivors) sub_infos.push_back(infos[id - 1]);
@@ -793,6 +829,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   }
 
   // ---- Phase 2: unlinkable gain comparison ----
+  audit_checkpoint(Phase::kPhase1);
   obs.set_phase(Phase::kPhase2);
   router.set_phase(Phase::kPhase2);
   // From here on every party is cryptographically bound into the joint key,
@@ -1074,6 +1111,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   }
 
   // Step 9 / Phase 3: ranks and submissions.
+  audit_checkpoint(Phase::kPhase2);
   obs.set_phase(Phase::kPhase3);
   router.set_phase(Phase::kPhase3);
   try {
@@ -1139,6 +1177,11 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)
     result.compute_seconds[p] = timer.seconds(p);
+
+  audit_checkpoint(Phase::kPhase3);
+  if (cfg.audit != nullptr)
+    cfg.audit->run_complete(result.submitted_ids, result.metrics.get(),
+                            result.comm.get(), router.round_index());
   return result;
 }
 

@@ -38,6 +38,7 @@
 #include "mpz/rng.h"
 #include "net/fault.h"
 #include "runtime/comm.h"
+#include "runtime/flightrec.h"
 #include "runtime/metrics.h"
 #include "runtime/span.h"
 #include "runtime/telemetry.h"
@@ -127,6 +128,28 @@ class PrecomputeSource {
                                                    std::size_t pool_size) = 0;
 };
 
+/// Live conformance-audit hook (implemented by engine::ConformanceAuditor;
+/// see src/engine/audit.h). The frameworks call phase_complete(p, ...) at
+/// the boundary where phase p's counters are final (the registries are
+/// flushed first, so the callback sees complete per-phase totals),
+/// run_complete once after phase 3, run_degraded when a dropout degrade
+/// replaces the full-set run with a survivor-set rerun, and run_faulted
+/// just before a typed ProtocolFault is thrown. Strictly observation-only:
+/// implementations read the registries and must not mutate protocol state.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void phase_complete(runtime::Phase phase,
+                              const runtime::MetricsRegistry* metrics,
+                              const runtime::CommRegistry* comm) = 0;
+  virtual void run_complete(const std::vector<std::size_t>& submitted_ids,
+                            const runtime::MetricsRegistry* metrics,
+                            const runtime::CommRegistry* comm,
+                            std::size_t rounds) = 0;
+  virtual void run_degraded(const std::vector<std::size_t>& dropped) = 0;
+  virtual void run_faulted(runtime::Phase phase) = 0;
+};
+
 /// Configuration shared by all parties.
 struct FrameworkConfig {
   ProblemSpec spec;
@@ -189,6 +212,14 @@ struct FrameworkConfig {
   /// Security caveat: degrading reveals *that* the dropped parties are
   /// absent and re-randomizes the survivors' masks — see DESIGN.md Sec. 7.
   bool degrade_on_dropout = false;
+  /// Live conformance audit (see AuditSink above). Requires `metrics`; must
+  /// outlive the run. Null: no checkpoints fire, zero overhead.
+  AuditSink* audit = nullptr;
+  /// Forensic flight recorder (runtime/flightrec.h): forwarded to the run's
+  /// Router so phase/round/send/fault-ladder events land in the ring, plus
+  /// degrade/fault events recorded here. Must outlive the run. Null: one
+  /// untaken branch per event site, no output changes either way.
+  runtime::FlightRecorder* flight = nullptr;
 
   void validate() const;
 };

@@ -49,6 +49,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   net::Router::Config router_cfg;
   router_cfg.faults = base.fault_plan;
   router_cfg.progress = base.progress;
+  router_cfg.flight = base.flight;
   net::Router router{n + 1, result.trace, result.comm.get(), router_cfg};
 
   // Fault handling mirrors run_framework: channel-layer failures surface as
@@ -65,6 +66,12 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
                        std::to_string(info.round);
     if (party != kNoParty) what += ", party P" + std::to_string(party);
     what += "]";
+    if (base.flight != nullptr)
+      base.flight->record(
+          runtime::FlightEventKind::kFault, phase,
+          static_cast<std::uint16_t>(party == kNoParty ? 0 : party + 1), 0, 0,
+          router.round_index());
+    if (base.audit != nullptr) base.audit->run_faulted(phase);
     return ProtocolFault{std::move(info), router.fault_report(), what};
   };
   const auto blame = [&](const net::ChannelError& e) {
@@ -107,6 +114,18 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   const runtime::SpanScope framework_span{span_sink, "framework",
                                           runtime::Phase::kSetup,
                                           runtime::kOrchestratorParty};
+  // Audit checkpoint: phase `completed` is done; drain the staged buffer so
+  // the registry holds the phase's final counters, then re-point the
+  // staging context (absorb resets it).
+  const auto audit_checkpoint = [&](runtime::Phase completed) {
+    if (base.audit == nullptr) return;
+    if (base.metrics) {
+      result.metrics->absorb(mbuf);
+      mbuf.set_context(completed, runtime::kOrchestratorParty);
+    }
+    base.audit->phase_complete(completed, result.metrics.get(),
+                               result.comm.get());
+  };
 
   // ---- Phase 1 (identical to the main framework) ----
   Initiator initiator{base, v0, w, rng};
@@ -214,11 +233,20 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
           runtime::Phase::kPhase1, kNoParty,
           "too few survivors to degrade (" + std::to_string(survivors.size()) +
               " left, SS sort needs n >= 2t+1 with t >= 1)");
+    if (base.flight != nullptr)
+      base.flight->record(runtime::FlightEventKind::kDegrade,
+                          runtime::Phase::kPhase1, 0,
+                          static_cast<std::uint32_t>(survivors.size()),
+                          static_cast<std::uint32_t>(lost.size()));
+    // The survivor rerun is a different instance; the auditor's expectations
+    // no longer apply, so it records the degrade and detaches.
+    if (base.audit != nullptr) base.audit->run_degraded(lost);
     SsFrameworkConfig sub = cfg;
     sub.base.n = survivors.size();
     sub.base.k = std::min(base.k, sub.base.n);
     sub.base.fault_plan = nullptr;
     sub.base.degrade_on_dropout = false;
+    sub.base.audit = nullptr;
     sub.threshold = std::min(cfg.threshold, max_t);
     std::vector<AttrVec> sub_infos;
     sub_infos.reserve(survivors.size());
@@ -236,6 +264,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   }
 
   // ---- Phase 2: secret-sharing sort of the β values ----
+  audit_checkpoint(runtime::Phase::kPhase1);
   router.set_phase(runtime::Phase::kPhase2);
   // From here on every β is committed into the shared sort: a party lost
   // now (crash scheduled at phase 2) is a clean typed abort, never a
@@ -294,6 +323,7 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   }
 
   // ---- Phase 3 ----
+  audit_checkpoint(runtime::Phase::kPhase2);
   if (!counting) try {
     const runtime::SpanScope phase_span{span_sink, "phase3.submission",
                                         runtime::Phase::kPhase3,
@@ -333,6 +363,11 @@ SsFrameworkResult run_ss_framework(const SsFrameworkConfig& cfg,
   result.compute_seconds.resize(n + 1);
   for (std::size_t p = 0; p <= n; ++p)
     result.compute_seconds[p] = timer.seconds(p);
+
+  audit_checkpoint(runtime::Phase::kPhase3);
+  if (base.audit != nullptr)
+    base.audit->run_complete(result.submitted_ids, result.metrics.get(),
+                             result.comm.get(), router.round_index());
   return result;
 }
 

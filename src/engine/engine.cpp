@@ -51,13 +51,11 @@ void append_counters(std::string& out, const CacheCounters& c) {
           static_cast<unsigned long long>(c.misses));
 }
 
-// Nearest-rank quantile over an unsorted sample set (sorts in place).
+// Nearest-rank quantile over an unsorted sample set (sorts in place; the
+// estimator itself is the shared one in runtime/histogram.h).
 double quantile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(v.size())));
-  return v[std::min(rank == 0 ? 0 : rank - 1, v.size() - 1)];
+  return runtime::sample_quantile_seconds(v, q);
 }
 
 // Fault causes embed channel-error text; escape the JSON specials so the
@@ -300,6 +298,13 @@ void SessionEngine::driver_loop() {
         s.queue_wait_s = queue_wait_s;
         s.run_s = res.wall_seconds;
         s.stalls = stalls;
+        if (res.audit != nullptr) {
+          s.has_audit = true;
+          s.audit_checks = res.audit->checks;
+          s.audit_findings = res.audit->findings.size();
+          s.audit_verdict = res.audit->verdict();
+          if (!res.audit->clean()) ++audit_drift_done_;
+        }
         summaries_.emplace(req.session_id, std::move(s));
         totals_ += res.precompute;
         const CacheCounters t = res.precompute.total();
@@ -351,7 +356,34 @@ SessionResult SessionEngine::execute(const RankingRequest& req,
     out.fault = pf.info();
     out.fault_what =
         "session " + std::to_string(req.session_id) + ": " + pf.what();
+    out.fault_report = pf.report();
   };
+
+  // Forensic flight recorder: always-on ring when configured, dumped only
+  // on demand. Observation-only, so outputs are identical either way.
+  if (cfg_.flight_events > 0) {
+    out.flight = std::make_shared<runtime::FlightRecorder>(cfg_.flight_events);
+    fcfg.flight = out.flight.get();
+  }
+  // Live conformance audit: the auditor replays the session's stream (a
+  // second identical family draw) through its reference execution, then
+  // rides the run's phase boundaries. Needs the registries, hence metrics.
+  std::optional<ConformanceAuditor> auditor;
+  if (cfg_.audit && cfg_.metrics) {
+    ConformanceAuditor::Config acfg;
+    acfg.ss = req.framework == FrameworkKind::kSs;
+    acfg.spec = req.spec;
+    acfg.n = req.infos.size();
+    acfg.k = req.k;
+    acfg.group = fcfg.group;
+    acfg.dot_field = fcfg.dot_field;
+    acfg.dot_s = fcfg.dot_s;
+    acfg.fault_plan = plan.enabled();
+    acfg.flight = fcfg.flight;
+    auditor.emplace(std::move(acfg), req.v0, req.w, req.infos,
+                    session_family_.stream(req.session_id));
+    fcfg.audit = &*auditor;
+  }
 
   if (req.framework == FrameworkKind::kHe) {
     fcfg.shared_pool = &pool_;
@@ -385,6 +417,7 @@ SessionResult SessionEngine::execute(const RankingRequest& req,
       note_fault(pf);
     }
   }
+  if (auditor.has_value()) out.audit = auditor->take_report();
   out.wall_seconds = runtime::metrics_now_seconds() - t0;
   return out;
 }
@@ -491,14 +524,33 @@ std::string SessionEngine::rollup_json() const {
     out += "\n  },\n";
     // A drained engine cannot be stalled: health reduces to the outcome
     // counts, which *are* deterministic. The stall tally is the watchdog's
-    // observation count and is not.
+    // observation count and is not. Confirmed model drift (audit findings)
+    // degrades health exactly like a faulted session.
     std::size_t faulted = 0;
     for (const auto& [sid, s] : summaries_)
       if (s.outcome == SessionOutcome::kFault) ++faulted;
     appendf(out, "  \"health\": {\"state\": \"%s\", \"stalls\": %llu},\n",
-            runtime::to_string(faulted != 0 ? runtime::HealthState::kDegraded
-                                            : runtime::HealthState::kOk),
+            runtime::to_string(faulted != 0 || audit_drift_done_ != 0
+                                   ? runtime::HealthState::kDegraded
+                                   : runtime::HealthState::kOk),
             static_cast<unsigned long long>(stalls_total_));
+  }
+  if (cfg_.audit) {
+    // Deterministic audit rollup: counts of comparisons and confirmed
+    // divergences (pure functions of the request set + fault schedules).
+    std::size_t audited = 0;
+    std::size_t checks = 0;
+    std::size_t findings = 0;
+    for (const auto& [sid, s] : summaries_) {
+      if (!s.has_audit) continue;
+      ++audited;
+      checks += s.audit_checks;
+      findings += s.audit_findings;
+    }
+    appendf(out,
+            "  \"audit\": {\"sessions\": %zu, \"checks\": %zu, "
+            "\"findings\": %zu, \"drifted\": %zu},\n",
+            audited, checks, findings, audit_drift_done_);
   }
   out += "  \"cache\": {\n    \"generator_tables\": ";
   append_counters(out, totals_.generator_table);
@@ -526,6 +578,12 @@ std::string SessionEngine::rollup_json() const {
     if (s.has_ops) {
       out += ",\n     \"ops\": ";
       append_ops(out, s.ops);
+    }
+    if (s.has_audit) {
+      appendf(out,
+              ",\n     \"audit\": {\"checks\": %zu, \"findings\": %zu, "
+              "\"verdict\": \"%s\"}",
+              s.audit_checks, s.audit_findings, s.audit_verdict.c_str());
     }
     if (fault_aware_) {
       appendf(out, ",\n     \"outcome\": \"%s\"", to_string(s.outcome));

@@ -40,7 +40,9 @@
 
 #include "core/framework.h"
 #include "core/ss_framework.h"
+#include "engine/audit.h"
 #include "engine/precompute.h"
+#include "runtime/flightrec.h"
 #include "runtime/telemetry.h"
 #include "runtime/thread_pool.h"
 
@@ -164,12 +166,22 @@ struct SessionResult {
   double setup_seconds = 0.0;  // time inside precompute fetch/build (noisy)
   PrecomputeStats precompute;  // this session's cache interactions
 
+  /// Present iff EngineConfig::flight_events > 0: the session's forensic
+  /// flight recording (phase/round/send/retry/fault-ladder events).
+  std::shared_ptr<runtime::FlightRecorder> flight;
+  /// Present iff EngineConfig::audit (and metrics): the conformance-audit
+  /// report of this session ("ppgr.audit.v1").
+  std::shared_ptr<const AuditReport> audit;
+
   /// kFault: the run aborted with a typed ProtocolFault; `fault` holds its
   /// phase/round/party/cause and `fault_what` the full message ("session
-  /// <id>: ..."). he/ss are then empty.
+  /// <id>: ..."). he/ss are then empty — the run's registries unwound with
+  /// the stack — but `fault_report` preserves the router's fault report
+  /// (counters + injection log) for the post-mortem bundle.
   SessionOutcome outcome = SessionOutcome::kOk;
   std::optional<core::FaultInfo> fault;
   std::string fault_what;
+  std::optional<net::FaultReport> fault_report;
 };
 
 struct EngineConfig {
@@ -197,6 +209,16 @@ struct EngineConfig {
   /// byte-identical to the pre-telemetry schema. Live snapshots
   /// (engine/introspect.h) work regardless of this flag.
   bool telemetry = false;
+  /// Live conformance audit (engine/audit.h): every session runs with a
+  /// ConformanceAuditor attached (requires `metrics`; ignored without it).
+  /// The rollup gains a deterministic per-session "audit" entry, and audit
+  /// drift degrades engine health. Off by default: the golden rollup pins
+  /// the off state, and sessions take zero audit branches.
+  bool audit = false;
+  /// Ring capacity of the per-session forensic flight recorder
+  /// (runtime/flightrec.h); 0 (default) = no recorder. Observation-only:
+  /// every deterministic export is byte-identical at any value.
+  std::size_t flight_events = 0;
 };
 
 class SessionEngine {
@@ -264,6 +286,11 @@ class SessionEngine {
     double queue_wait_s = 0.0;   // submit() -> driver claim (noisy)
     double run_s = 0.0;          // driver claim -> completion (noisy)
     std::uint64_t stalls = 0;    // watchdog observations while running
+    // Audit outcome (EngineConfig::audit; deterministic counts).
+    bool has_audit = false;
+    std::size_t audit_checks = 0;
+    std::size_t audit_findings = 0;
+    std::string audit_verdict;
   };
 
   /// A submitted-but-unstarted session plus its admission timestamp (the
@@ -322,6 +349,7 @@ class SessionEngine {
   std::size_t active_ = 0;
   std::size_t peak_ = 0;
   std::size_t faulted_done_ = 0;      // kFault results + driver exceptions
+  std::size_t audit_drift_done_ = 0;  // completed sessions with findings
   std::uint64_t stalls_total_ = 0;    // stall flags of *completed* sessions
   bool stop_ = false;
   /// Latches true once any submitted request carries a fault plan (or

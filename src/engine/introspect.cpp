@@ -51,6 +51,7 @@ EngineSnapshot snapshot(SessionEngine& engine, double stall_deadline_s) {
     out.in_flight = engine.active_;
     out.completed = engine.summaries_.size() + engine.failed_.size();
     out.faulted = engine.faulted_done_;
+    out.audit_drift = engine.audit_drift_done_;
     out.stalls_total = engine.stalls_total_;
     for (std::size_t kind = 0; kind < 2; ++kind) {
       out.latency[kind].queue_wait = engine.queue_wait_hist_[kind];
@@ -84,8 +85,11 @@ EngineSnapshot snapshot(SessionEngine& engine, double stall_deadline_s) {
   out.cache_misses =
       t.v[static_cast<std::size_t>(runtime::CryptoOp::kPrecomputeMiss)];
 
-  HealthState health =
-      out.faulted != 0 ? HealthState::kDegraded : HealthState::kOk;
+  // Confirmed conformance drift is as alarming as a faulted session: the
+  // engine is producing numbers its own model contradicts.
+  HealthState health = out.faulted != 0 || out.audit_drift != 0
+                           ? HealthState::kDegraded
+                           : HealthState::kOk;
   for (const auto& st : out.sessions)
     if (st.stalled) health = runtime::worse(health, HealthState::kStalled);
   out.health = health;
@@ -214,6 +218,7 @@ std::string EngineSnapshot::health_json() const {
           in_flight);
   appendf(out, "  \"completed\": %zu,\n  \"faulted\": %zu,\n", completed,
           faulted);
+  appendf(out, "  \"audit_drift\": %zu,\n", audit_drift);
   appendf(out, "  \"stalls\": %llu,\n",
           static_cast<unsigned long long>(stalls_total));
   out += "  \"stalled_sessions\": [";

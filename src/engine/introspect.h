@@ -71,6 +71,7 @@ struct EngineSnapshot {
   std::size_t in_flight = 0;      // executing right now
   std::size_t completed = 0;      // results landed (ok or fault)
   std::size_t faulted = 0;        // kFault results + driver exceptions
+  std::size_t audit_drift = 0;    // completed sessions with audit findings
   std::uint64_t cache_hits = 0;   // engine precompute cache, all components
   std::uint64_t cache_misses = 0;
   std::uint64_t stalls_total = 0;  // completed + live sticky stall flags

@@ -39,7 +39,8 @@ Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
                                    : std::vector<std::size_t>{}),
       sim_(*topo_, cfg.sim),
       mailboxes_(parties * parties),
-      progress_(cfg.progress) {
+      progress_(cfg.progress),
+      flight_(cfg.flight) {
   if (parties_ < 2) throw std::invalid_argument("Router: need >= 2 parties");
   if (node_of_.empty()) {
     node_of_.resize(parties_);
@@ -67,6 +68,9 @@ void Router::set_phase(runtime::Phase p) {
   if (comm_ != nullptr) comm_->set_phase(p);
   phase_ = p;
   if (progress_ != nullptr) progress_->advance(phase_, round_index_);
+  if (flight_ != nullptr)
+    flight_->record(runtime::FlightEventKind::kPhase, phase_, 0,
+                    static_cast<std::uint32_t>(round_index_));
   if (faults_ == nullptr) return;
   for (const std::size_t party : faults_->crashes_at(p)) {
     if (party >= parties_ || dead_[party] != 0) continue;
@@ -74,6 +78,11 @@ void Router::set_phase(runtime::Phase p) {
     stats_.injected[static_cast<std::size_t>(FaultKind::kCrash)]++;
     events_.push_back(FaultEvent{FaultKind::kCrash, round_index_, party,
                                  party, 0});
+    if (flight_ != nullptr)
+      flight_->record(runtime::FlightEventKind::kInject, phase_,
+                      static_cast<std::uint16_t>(FaultKind::kCrash),
+                      static_cast<std::uint32_t>(party),
+                      static_cast<std::uint32_t>(party));
   }
 }
 
@@ -81,6 +90,11 @@ void Router::note(FaultKind kind, std::size_t src, std::size_t dst,
                   std::size_t attempt) {
   stats_.injected[static_cast<std::size_t>(kind)]++;
   events_.push_back(FaultEvent{kind, round_index_, src, dst, attempt});
+  if (flight_ != nullptr)
+    flight_->record(runtime::FlightEventKind::kInject, phase_,
+                    static_cast<std::uint16_t>(kind),
+                    static_cast<std::uint32_t>(src),
+                    static_cast<std::uint32_t>(dst), attempt);
 }
 
 void Router::account(std::size_t src, std::size_t dst, std::size_t bytes,
@@ -88,6 +102,10 @@ void Router::account(std::size_t src, std::size_t dst, std::size_t bytes,
   if (src >= parties_ || dst >= parties_)
     throw std::invalid_argument("Router: party id out of range");
   trace_.record(src, dst, bytes);
+  if (flight_ != nullptr)
+    flight_->record(runtime::FlightEventKind::kSend, phase_, 0,
+                    static_cast<std::uint32_t>(src),
+                    static_cast<std::uint32_t>(dst), bytes);
   if (comm_ != nullptr) {
     comm_->record(src, dst, bytes);
     round_.push_back(runtime::Transfer{0, src, dst, bytes});
@@ -137,7 +155,13 @@ void Router::faulted_send(
   for (std::size_t attempt = 0;; ++attempt) {
     const FaultDecision d =
         faults_->decide(phase_, round_index_, src, dst, msg, attempt);
-    if (attempt > 0) stats_.retransmits++;
+    if (attempt > 0) {
+      stats_.retransmits++;
+      if (flight_ != nullptr)
+        flight_->record(runtime::FlightEventKind::kRetry, phase_, 0,
+                        static_cast<std::uint32_t>(src),
+                        static_cast<std::uint32_t>(dst), attempt);
+    }
     if (d.drop || d.corrupt) {
       // The attempt consumed wire bytes either way; a corrupted frame also
       // reaches the mailbox, where the receiver's CRC check discards it.
@@ -274,6 +298,11 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::faulted_receive(
     const FailedSend failed = failures_[link].front();
     failures_[link].pop_front();
     rx_seq_[link] = want + 1;
+    if (flight_ != nullptr)
+      flight_->record(runtime::FlightEventKind::kChannelError, phase_,
+                      static_cast<std::uint16_t>(failed.kind),
+                      static_cast<std::uint32_t>(src),
+                      static_cast<std::uint32_t>(dst), want);
     throw ChannelError(
         failed.kind, src, dst, failed.round,
         "Router::receive: " + link_str(src, dst) + " message #" +
@@ -326,10 +355,16 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::faulted_receive(
     return std::make_shared<const std::vector<std::uint8_t>>(
         std::move(frame.payload));
   }
-  if (dead_[src] != 0)
+  if (dead_[src] != 0) {
+    if (flight_ != nullptr)
+      flight_->record(runtime::FlightEventKind::kChannelError, phase_,
+                      static_cast<std::uint16_t>(ChannelErrorKind::kPeerDead),
+                      static_cast<std::uint32_t>(src),
+                      static_cast<std::uint32_t>(dst));
     throw ChannelError(ChannelErrorKind::kPeerDead, src, dst, round_index_,
                        "Router::receive: " + link_str(src, dst) +
                            " peer P" + std::to_string(src) + " crashed");
+  }
   throw std::logic_error("Router::receive: mailbox empty");
 }
 
@@ -379,6 +414,9 @@ void Router::next_round() {
   trace_.next_round();
   ++round_index_;
   if (progress_ != nullptr) progress_->advance(phase_, round_index_);
+  if (flight_ != nullptr)
+    flight_->record(runtime::FlightEventKind::kRound, phase_, 0, 0, 0,
+                    round_index_);
 }
 
 std::size_t Router::pending() const { return pending_; }

@@ -54,6 +54,7 @@
 #include "net/simulator.h"
 #include "net/topology.h"
 #include "runtime/comm.h"
+#include "runtime/flightrec.h"
 #include "runtime/telemetry.h"
 #include "runtime/trace.h"
 #include "runtime/wire.h"
@@ -80,6 +81,11 @@ class Router {
     /// orchestrator thread while other threads read (runtime::ProgressCell
     /// is). Null: zero overhead, no behavior change.
     runtime::ProgressSink* progress = nullptr;
+    /// Optional forensic flight recorder: every phase/round transition,
+    /// accounted send, retransmit, fault injection and surfaced channel
+    /// error is recorded as a typed event. Must outlive the router.
+    /// Observation-only — null means one untaken branch per event site.
+    runtime::FlightRecorder* flight = nullptr;
   };
 
   /// `trace` must outlive the router; `comm` may be null (byte accounting
@@ -169,6 +175,7 @@ class Router {
   std::size_t pending_ = 0;
 
   runtime::ProgressSink* progress_ = nullptr;  // round-progress hook
+  runtime::FlightRecorder* flight_ = nullptr;  // forensic event ring
 
   // Fault-plan state (inert when faults_ == nullptr).
   const FaultPlan* faults_ = nullptr;

@@ -1,0 +1,101 @@
+// Power-of-two latency histogram and its quantile estimators, shared by the
+// deterministic metrics registry (runtime/metrics.h), the live telemetry
+// layer (runtime/telemetry.h, OpenMetrics bucket bounds) and the engine's
+// wall-clock rollup. One definition of the binade math — bin i covers
+// [2^i, 2^{i+1}) ns — replaces the three hand-maintained copies that used to
+// live in metrics.cpp, telemetry.cpp and engine.cpp.
+//
+// Two estimators cover the two sample shapes in the codebase:
+//  - latency_quantile_seconds: nearest-rank over the 40 binned counters
+//    (over-estimates by at most one binade; used for live p50/p99 readouts);
+//  - sample_quantile_seconds: exact nearest-rank over a sorted raw-sample
+//    vector (used where the full sample set is retained, e.g. per-session
+//    wall times in the engine rollup).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ppgr::runtime {
+
+/// Fixed-bin latency histogram: bin i counts samples in [2^i, 2^{i+1}) ns.
+/// 40 bins cover 1 ns .. ~18 minutes; merging is bin-wise addition, so the
+/// absorb order cannot change the result.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBins = 40;
+
+  void add_seconds(double seconds) {
+    const double ns = seconds * 1e9;
+    std::size_t bin = 0;
+    if (ns >= 1.0) {
+      const auto v = static_cast<std::uint64_t>(ns);
+      bin = std::min<std::size_t>(kBins - 1, std::bit_width(v) - 1);
+    }
+    ++bins_[bin];
+    ++count_;
+    sum_seconds_ += seconds;
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (std::size_t i = 0; i < kBins; ++i) bins_[i] += o.bins_[i];
+    count_ += o.count_;
+    sum_seconds_ += o.sum_seconds_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double total_seconds() const { return sum_seconds_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBins>& bins() const {
+    return bins_;
+  }
+  /// Lower bound of bin i in nanoseconds (2^i).
+  [[nodiscard]] static std::uint64_t bin_floor_ns(std::size_t i) {
+    return std::uint64_t{1} << i;
+  }
+  /// Upper bound of bin i in seconds (2^{i+1} ns) — the OpenMetrics `le`
+  /// bucket bound and the value a binade quantile estimate reports.
+  [[nodiscard]] static double bin_upper_seconds(std::size_t i) {
+    return static_cast<double>(bin_floor_ns(i)) * 2.0 * 1e-9;
+  }
+
+ private:
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+};
+
+/// Nearest-rank quantile estimate from a LatencyHistogram: the upper bound
+/// (in seconds) of the power-of-two bin containing the q-th sample. An
+/// over-estimate by at most one binade — good enough for a live p50/p99
+/// readout. Returns 0 for an empty histogram.
+[[nodiscard]] inline double latency_quantile_seconds(
+    const LatencyHistogram& hist, double q) {
+  const std::uint64_t n = hist.count();
+  if (n == 0) return 0.0;
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBins; ++i) {
+    cum += hist.bins()[i];
+    if (cum >= rank) return LatencyHistogram::bin_upper_seconds(i);
+  }
+  return hist.total_seconds();  // unreachable: bins sum to count
+}
+
+/// Exact nearest-rank quantile over an ascending-sorted sample vector.
+/// Returns 0 for an empty vector.
+[[nodiscard]] inline double sample_quantile_seconds(
+    const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace ppgr::runtime

@@ -1,7 +1,6 @@
 #include "runtime/metrics.h"
 
 #include <algorithm>
-#include <bit>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -58,24 +57,6 @@ const char* op_name(CryptoOp op) {
     case CryptoOp::kAccelBatchInverse: return "accel_batch_inverse";
   }
   return "?";
-}
-
-void LatencyHistogram::add_seconds(double seconds) {
-  const double ns = seconds * 1e9;
-  std::size_t bin = 0;
-  if (ns >= 1.0) {
-    const auto v = static_cast<std::uint64_t>(ns);
-    bin = std::min<std::size_t>(kBins - 1, std::bit_width(v) - 1);
-  }
-  ++bins_[bin];
-  ++count_;
-  sum_seconds_ += seconds;
-}
-
-void LatencyHistogram::merge(const LatencyHistogram& o) {
-  for (std::size_t i = 0; i < kBins; ++i) bins_[i] += o.bins_[i];
-  count_ += o.count_;
-  sum_seconds_ += o.sum_seconds_;
 }
 
 void MetricsBuffer::set_context(Phase phase, std::int32_t party) {

@@ -39,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/histogram.h"
+
 namespace ppgr::runtime {
 
 class SpanRecorder;  // span.h
@@ -140,31 +142,8 @@ struct OpTally {
   }
 };
 
-/// Fixed-bin latency histogram: bin i counts samples in [2^i, 2^{i+1}) ns.
-/// 40 bins cover 1 ns .. ~18 minutes; merging is bin-wise addition, so the
-/// absorb order cannot change the result.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBins = 40;
-
-  void add_seconds(double seconds);
-  void merge(const LatencyHistogram& o);
-
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double total_seconds() const { return sum_seconds_; }
-  [[nodiscard]] const std::array<std::uint64_t, kBins>& bins() const {
-    return bins_;
-  }
-  /// Lower bound of bin i in nanoseconds (2^i).
-  [[nodiscard]] static std::uint64_t bin_floor_ns(std::size_t i) {
-    return std::uint64_t{1} << i;
-  }
-
- private:
-  std::array<std::uint64_t, kBins> bins_{};
-  std::uint64_t count_ = 0;
-  double sum_seconds_ = 0.0;
-};
+// LatencyHistogram lives in runtime/histogram.h (shared with the telemetry
+// layer's OpenMetrics buckets and quantile estimators).
 
 /// Per-task, unsynchronized staging area (the metrics analogue of
 /// TraceBuffer): counters keyed by (phase, party) plus per-op latency

@@ -18,22 +18,6 @@ const char* to_string(HealthState state) {
   return "?";
 }
 
-double latency_quantile_seconds(const LatencyHistogram& hist, double q) {
-  const std::uint64_t n = hist.count();
-  if (n == 0) return 0.0;
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
-  rank = std::min(std::max<std::uint64_t>(rank, 1), n);
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < LatencyHistogram::kBins; ++i) {
-    cum += hist.bins()[i];
-    if (cum >= rank)
-      return static_cast<double>(LatencyHistogram::bin_floor_ns(i)) * 2.0 *
-             1e-9;
-  }
-  return hist.total_seconds();  // unreachable: bins sum to count
-}
-
 void OpenMetricsBuilder::family(const std::string& name, const char* type,
                                 const std::string& help) {
   body_ += "# TYPE " + name + " " + type + "\n";
@@ -71,9 +55,7 @@ void OpenMetricsBuilder::histogram(const std::string& name,
   const std::string sep = labels.empty() ? "" : ",";
   for (std::size_t i = 0; i < top; ++i) {
     cum += hist.bins()[i];
-    // Bin i covers [2^i, 2^{i+1}) ns; the bucket upper bound in seconds.
-    const double le_s =
-        static_cast<double>(LatencyHistogram::bin_floor_ns(i)) * 2.0 * 1e-9;
+    const double le_s = LatencyHistogram::bin_upper_seconds(i);
     char le[48];
     std::snprintf(le, sizeof(le), "le=\"%.9g\"", le_s);
     sample(name + "_bucket", labels + sep + le, cum);

@@ -93,12 +93,8 @@ class ProgressCell final : public ProgressSink {
   std::atomic<double> last_advance_s_;
 };
 
-/// Nearest-rank quantile estimate from a LatencyHistogram: the upper bound
-/// (in seconds) of the power-of-two bin containing the q-th sample. An
-/// over-estimate by at most one binade — good enough for a live p50/p99
-/// readout. Returns 0 for an empty histogram.
-[[nodiscard]] double latency_quantile_seconds(const LatencyHistogram& hist,
-                                              double q);
+// latency_quantile_seconds (the binade p50/p99 estimator) lives in
+// runtime/histogram.h, next to the histogram it reads.
 
 /// Builder for the OpenMetrics text exposition format. Usage:
 ///

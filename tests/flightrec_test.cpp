@@ -1,0 +1,182 @@
+// Forensic flight recorder: ring-buffer bounds and overwrite accounting,
+// the "ppgr.flight.v1" dump shape, the Router's event taps (phase / round /
+// send / retransmit / injection), and the concurrent record-vs-dump race the
+// TSan leg of `scripts/ci.sh audit` pins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/fault.h"
+#include "runtime/flightrec.h"
+
+namespace ppgr::runtime {
+namespace {
+
+TEST(FlightRecorder, RecordsInOrderBelowCapacity) {
+  FlightRecorder rec{8};
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 0u);
+  rec.record(FlightEventKind::kPhase, Phase::kPhase1);
+  rec.record(FlightEventKind::kSend, Phase::kPhase1, 0, 1, 2, 100);
+  rec.record(FlightEventKind::kRound, Phase::kPhase1, 0, 0, 0, 1);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kPhase);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kSend);
+  EXPECT_EQ(events[1].a, 1u);
+  EXPECT_EQ(events[1].b, 2u);
+  EXPECT_EQ(events[1].c, 100u);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kRound);
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder rec{4};
+  for (std::uint64_t i = 0; i < 10; ++i)
+    rec.record(FlightEventKind::kSend, Phase::kPhase2, 0, 0, 0, i);
+  EXPECT_EQ(rec.size(), 4u);        // ring stays bounded
+  EXPECT_EQ(rec.recorded(), 10u);   // lifetime count keeps going
+  EXPECT_EQ(rec.dropped(), 6u);     // the overwritten prefix
+  const std::vector<FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the last 4: payloads 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].c, 6u + i);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder rec{0};
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(FlightEventKind::kPhase, Phase::kPhase1);
+  rec.record(FlightEventKind::kRound, Phase::kPhase1);
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+TEST(FlightRecorder, JsonDumpShape) {
+  FlightRecorder rec{4};
+  rec.record(FlightEventKind::kPhase, Phase::kPhase1, 0, 3);
+  rec.record(FlightEventKind::kFault, Phase::kPhase1, 2, 0, 0, 7);
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"schema\": \"ppgr.flight.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"phase1\""), std::string::npos);
+  // Timestamps are dump-relative: the first retained event is at 0.
+  EXPECT_NE(json.find("\"dt_s\": 0.000000"), std::string::npos);
+}
+
+TEST(FlightRecorder, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(FlightEventKind::kAudit); ++k)
+    EXPECT_STRNE(to_string(static_cast<FlightEventKind>(k)), "?");
+}
+
+// The stall watchdog / postmortem writer dumps the ring from an observer
+// thread while the orchestrator keeps recording; under TSan this pins the
+// ring's locking discipline.
+TEST(FlightRecorder, ConcurrentRecordAndDump) {
+  FlightRecorder rec{64};
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      rec.record(FlightEventKind::kSend, Phase::kPhase2, 0, 1, 2, ++i);
+  }};
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<FlightEvent> events = rec.events();
+    EXPECT_LE(events.size(), 64u);
+    const std::string json = rec.to_json();
+    EXPECT_NE(json.find("ppgr.flight.v1"), std::string::npos);
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(rec.dropped() + rec.size(), rec.recorded());
+}
+
+// Router taps: a plain (fault-free) exchange records phase transitions,
+// every accounted send, and round closes — and nothing from the fault
+// ladder.
+TEST(FlightRecorder, RouterTapsRecordProtocolEvents) {
+  FlightRecorder rec{256};
+  TraceRecorder trace;
+  net::Router::Config cfg;
+  cfg.flight = &rec;
+  net::Router router{3, trace, nullptr, cfg};
+  router.set_phase(Phase::kPhase1);
+  router.send(0, 1, std::vector<std::uint8_t>(16, 0xab));
+  router.send(1, 2, std::vector<std::uint8_t>(32, 0xcd));
+  (void)router.receive(0, 1);
+  (void)router.receive(1, 2);
+  router.next_round();
+
+  std::size_t phases = 0, sends = 0, rounds = 0, faultish = 0;
+  for (const FlightEvent& e : rec.events()) {
+    switch (e.kind) {
+      case FlightEventKind::kPhase: ++phases; break;
+      case FlightEventKind::kSend: ++sends; break;
+      case FlightEventKind::kRound: ++rounds; break;
+      case FlightEventKind::kRetry:
+      case FlightEventKind::kInject:
+      case FlightEventKind::kChannelError: ++faultish; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(phases, 1u);
+  EXPECT_EQ(sends, 2u);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_EQ(faultish, 0u);  // no plan -> the fault-ladder taps stay silent
+  // The send tap carries (src, dst, bytes).
+  for (const FlightEvent& e : rec.events()) {
+    if (e.kind != FlightEventKind::kSend) continue;
+    EXPECT_TRUE((e.a == 0 && e.b == 1 && e.c == 16) ||
+                (e.a == 1 && e.b == 2 && e.c == 32));
+  }
+}
+
+// Under a drop-heavy plan the retransmit ladder runs; the ring must see the
+// injections and the retries the fault report counts.
+TEST(FlightRecorder, RouterTapsRecordFaultLadder) {
+  net::FaultPlanConfig pcfg = net::parse_fault_plan("seed=5,drop=0.6");
+  const net::FaultPlan plan{pcfg};
+  FlightRecorder rec{1024};
+  TraceRecorder trace;
+  net::Router::Config cfg;
+  cfg.faults = &plan;
+  cfg.flight = &rec;
+  net::Router router{2, trace, nullptr, cfg};
+  router.set_phase(Phase::kPhase1);
+  std::size_t channel_errors = 0;
+  for (int i = 0; i < 20; ++i) {
+    router.send(0, 1, std::vector<std::uint8_t>(64, 0x11));
+    try {
+      (void)router.receive(0, 1);
+    } catch (const net::ChannelError&) {
+      ++channel_errors;  // retry budget exhausted — a legitimate outcome
+    }
+    router.next_round();
+  }
+  std::uint64_t injects = 0, retries = 0, surfaced = 0;
+  for (const FlightEvent& e : rec.events()) {
+    if (e.kind == FlightEventKind::kInject) ++injects;
+    if (e.kind == FlightEventKind::kRetry) ++retries;
+    if (e.kind == FlightEventKind::kChannelError) ++surfaced;
+  }
+  EXPECT_EQ(surfaced, channel_errors);
+  const net::FaultReport report = router.fault_report();
+  std::uint64_t injected_total = 0;
+  for (const std::uint64_t v : report.stats.injected) injected_total += v;
+  EXPECT_GT(injects, 0u);
+  EXPECT_EQ(injects, injected_total);
+  EXPECT_EQ(retries, report.stats.retransmits);
+}
+
+}  // namespace
+}  // namespace ppgr::runtime
