@@ -29,6 +29,12 @@
 // itself is deterministic (the event sequence is a pure function of a
 // fault-free run), so bench_compare gates it exactly.
 //
+// The final "tcp_loopback" block measures the real-socket transport
+// (net::tcp, DESIGN.md §5f): framed round trips over a loopback
+// TcpTransport pair — p50/p95 round-trip latency for a protocol-sized
+// payload. Frame and byte counts are exact leaves; the latencies are
+// wall-clock and classified noisy by bench_compare.
+//
 // Usage: engine_throughput [--load N] [--parallelism N] [--seed S]
 //                          [--out FILE]
 #include <algorithm>
@@ -42,6 +48,7 @@
 
 #include "engine/engine.h"
 #include "engine/introspect.h"
+#include "net/tcp/transport.h"
 #include "runtime/flightrec.h"
 
 namespace {
@@ -195,6 +202,63 @@ bool passes_identical(const PassStats& a, const PassStats& b) {
       return false;
   }
   return true;
+}
+
+// Round trips of a protocol-sized framed payload over a real loopback
+// TcpTransport pair (kernel-assigned ports): party 1 echoes every frame
+// back, party 0 measures send->receive round-trip time per frame.
+struct TcpLoopbackStats {
+  std::uint64_t frames = 0;       // frames on the wire (2 per round trip)
+  std::size_t payload_bytes = 0;  // per-frame payload size
+  double p50 = 0.0, p95 = 0.0, wall = 0.0;
+};
+
+TcpLoopbackStats measure_tcp_loopback() {
+  using net::tcp::Endpoint;
+  using net::tcp::TcpTransport;
+  using net::tcp::TcpTransportConfig;
+  constexpr std::size_t kRoundTrips = 256;
+  constexpr std::size_t kPayloadBytes = 4096;
+
+  std::vector<std::unique_ptr<TcpTransport>> mesh;
+  for (std::size_t p = 0; p < 2; ++p) {
+    TcpTransportConfig cfg;
+    cfg.party = p;
+    cfg.parties = 2;
+    cfg.listen = Endpoint{"127.0.0.1", 0};
+    cfg.peers.resize(2);
+    cfg.session = 0xBE7CBE7C;
+    mesh.push_back(std::make_unique<TcpTransport>(std::move(cfg)));
+  }
+  mesh[0]->set_peer(1, Endpoint{"127.0.0.1", mesh[1]->listen_port()});
+  mesh[1]->set_peer(0, Endpoint{"127.0.0.1", mesh[0]->listen_port()});
+  std::thread dial{[&] { mesh[1]->connect(); }};
+  mesh[0]->connect();
+  dial.join();
+
+  std::thread echo{[&] {
+    for (std::size_t i = 0; i < kRoundTrips; ++i)
+      mesh[1]->send(1, 0, mesh[1]->receive(0, 1));
+  }};
+  const std::vector<std::uint8_t> payload(kPayloadBytes, 0xA5);
+  std::vector<double> latencies;
+  latencies.reserve(kRoundTrips);
+  const double wall0 = now_s();
+  for (std::size_t i = 0; i < kRoundTrips; ++i) {
+    const double t0 = now_s();
+    mesh[0]->send(0, 1, payload);
+    (void)mesh[0]->receive(1, 0);
+    latencies.push_back(now_s() - t0);
+  }
+  TcpLoopbackStats stats;
+  stats.wall = now_s() - wall0;
+  echo.join();
+  std::sort(latencies.begin(), latencies.end());
+  stats.frames = 2 * kRoundTrips;
+  stats.payload_bytes = kPayloadBytes;
+  stats.p50 = latencies[latencies.size() / 2];
+  stats.p95 = latencies[latencies.size() * 95 / 100];
+  return stats;
 }
 
 void print_counters(std::FILE* out, const char* label,
@@ -377,12 +441,28 @@ int main(int argc, char** argv) {
                "    \"outputs_identical\": %s,\n"
                "    \"wall_seconds\": %.6f, \"per_event_seconds\": %.9f,\n"
                "    \"overhead_ratio\": %.6f, \"gate_ratio\": 0.01, "
-               "\"gate_pass\": %s}\n",
+               "\"gate_pass\": %s},\n",
                kFlightEvents,
                static_cast<unsigned long long>(flight_recorded),
                flight_identical ? "true" : "false", flight_wall,
                flight_per_event, flight_overhead,
                flight_gate_ok ? "true" : "false");
+  // Real-socket frame round trips over loopback (see the header comment).
+  // frames / payload_bytes are exact; the latency/wall leaves are noisy.
+  const TcpLoopbackStats tcp = measure_tcp_loopback();
+  std::printf(
+      "\n     tcp loopback: %llu frames x %zu B, round trip p50 %.0f us "
+      "p95 %.0f us\n",
+      static_cast<unsigned long long>(tcp.frames), tcp.payload_bytes,
+      tcp.p50 * 1e6, tcp.p95 * 1e6);
+  std::fprintf(out,
+               "  \"tcp_loopback\": {\"frames\": %llu, "
+               "\"payload_bytes\": %zu,\n"
+               "    \"latency_p50_seconds\": %.9f, "
+               "\"latency_p95_seconds\": %.9f,\n"
+               "    \"wall_seconds\": %.6f}\n",
+               static_cast<unsigned long long>(tcp.frames), tcp.payload_bytes,
+               tcp.p50, tcp.p95, tcp.wall);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());

@@ -64,7 +64,14 @@
 #   ./build/bench/parallel_speedup --out BENCH_parallel.json
 #   ./build/bench/engine_throughput --out BENCH_engine.json
 #
-# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|bench-regress|all]
+# The `sockets` mode is the real-transport leg: the net::tcp suite (frame
+# codec over flaky socketpairs, loopback transport meshes, the full
+# protocol over sockets vs the same-seed simulator) and the process-level
+# launcher test run under ASan+UBSan; the transport mesh + in-process
+# socket E2E tests run again under TSan — per-peer reader threads feeding
+# inboxes while protocol threads send is exactly the surface TSan watches.
+#
+# Usage: scripts/ci.sh [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|sockets|bench-regress|all]
 #        (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -152,6 +159,10 @@ case "${MODE}" in
     run_leg asan -R 'flightrec|audit_test|server_cli'
     run_leg tsan -R 'flightrec'
     ;;
+  sockets)
+    run_leg asan -R 'tcp_transport|party_launcher'
+    run_leg tsan -R 'tcp_transport'
+    ;;
   bench-regress) bench_regress ;;
   all)
     run_leg default
@@ -160,10 +171,11 @@ case "${MODE}" in
     run_leg tsan -R 'engine'
     run_leg tsan -R 'telemetry|engine_fault'
     run_leg tsan -R 'flightrec'
+    run_leg tsan -R 'tcp_transport'
     bench_regress
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|bench-regress|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|engine|metrics|chaos|multiexp|telemetry|audit|sockets|bench-regress|all]" >&2
     exit 2
     ;;
 esac

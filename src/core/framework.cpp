@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/codec.h"
+#include "core/streams.h"
 #include "crypto/codec.h"
 #include "group/accel_group.h"
 #include "group/metered_group.h"
@@ -31,29 +32,10 @@ Payload seal(runtime::Writer&& w) {
   return std::make_shared<const std::vector<std::uint8_t>>(std::move(w).take());
 }
 
-// Stream-id layout for the deterministic parallel engine: every
-// randomness-consuming task draws from its own ChaCha substream identified
-// by (kind, party, index). Ids are a pure function of the task's place in
-// the protocol — never of the schedule — so any thread count replays the
-// exact same randomness (DESIGN.md, "Threading model & determinism").
-enum StreamKind : std::uint64_t {
-  kInitiatorSetup = 0,  // ρ and the ρ_j masks
-  kPartySetup = 1,      // per-party fallback stream (legacy entry points)
-  kPhase1 = 2,          // dot-product disguise (per party)
-  kKeygen = 3,          // ElGamal key share (per party)
-  kProve = 4,           // Schnorr proof nonce (per party)
-  kEncryptBit = 5,      // bitwise β encryption (per party, per bit)
-  kCompare = 6,         // comparison-circuit re-randomization (per pair)
-  kShuffle = 7,         // chain hop (per hop, per owner set)
-};
-
-std::uint64_t stream_id(StreamKind kind, std::size_t party,
-                        std::size_t index) {
-  // kind:8 | party:24 | index:32 — n and l are far below these widths.
-  return (static_cast<std::uint64_t>(kind) << 56) |
-         (static_cast<std::uint64_t>(party) << 32) |
-         static_cast<std::uint64_t>(index);
-}
+// Stream-id layout: shared with the process-per-party driver through
+// core/streams.h — see that header. Both entry points must address the
+// same substreams for the same protocol positions, or the socket
+// deployment loses bit-identity with the simulator run.
 
 using runtime::Phase;
 
@@ -585,9 +567,9 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
   // construction (only the initiator draws from hers at construction time).
   std::vector<ChaChaRng> party_rngs;
   party_rngs.reserve(n + 1);
-  party_rngs.push_back(task_stream(kInitiatorSetup, 0, 0));
+  party_rngs.push_back(task_stream(StreamKind::kInitiatorSetup, 0, 0));
   for (std::size_t j = 1; j <= n; ++j)
-    party_rngs.push_back(task_stream(kPartySetup, j, 0));
+    party_rngs.push_back(task_stream(StreamKind::kPartySetup, j, 0));
 
   Initiator initiator{ecfg, v0, w, party_rngs[0]};
   std::vector<Participant> parts;
@@ -710,7 +692,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard = obs.task(j, static_cast<std::int32_t>(j + 1),
                               "task.gain_query");
         auto scope = timer.time(j + 1);
-        ChaChaRng task_rng = task_stream(kPhase1, j + 1, 0);
+        ChaChaRng task_rng = task_stream(StreamKind::kPhase1, j + 1, 0);
         const auto& q = parts[j].gain_query(task_rng);
         runtime::Writer w;
         write_bob_round1(w, *cfg.dot_field, q);
@@ -855,7 +837,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard =
             obs.task(j, static_cast<std::int32_t>(j + 1), "task.keygen");
         auto scope = timer.time(j + 1);
-        ChaChaRng task_rng = task_stream(kKeygen, j + 1, 0);
+        ChaChaRng task_rng = task_stream(StreamKind::kKeygen, j + 1, 0);
         pubkeys[j] = parts[j].public_key(task_rng);
         runtime::Writer w;
         crypto::write_elem(w, g, pubkeys[j]);
@@ -878,7 +860,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard =
             obs.task(j, static_cast<std::int32_t>(j + 1), "task.prove_key");
         auto scope = timer.time(j + 1);
-        ChaChaRng task_rng = task_stream(kProve, j + 1, 0);
+        ChaChaRng task_rng = task_stream(StreamKind::kProve, j + 1, 0);
         proofs[j] = parts[j].prove_key(n - 1, task_rng);
         // Commitment + response broadcast; each verifier's challenge flows
         // back accounting-only — its value is already in the transcript the
@@ -1005,7 +987,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard = obs.task(idx, static_cast<std::int32_t>(j + 1),
                               "task.encrypt_bit", b);
         auto scope = timer.time(j + 1);
-        ChaChaRng task_rng = task_stream(kEncryptBit, j + 1, b);
+        ChaChaRng task_rng = task_stream(StreamKind::kEncryptBit, j + 1, b);
         beta_bits[j][b] = parts[j].encrypt_beta_bit(
             b, task_rng, beta_pool, beta_pool_base + j * l);
       });
@@ -1042,7 +1024,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard = obs.task(idx, static_cast<std::int32_t>(j + 1),
                               "task.compare", i);
         auto scope = timer.time(j + 1);
-        ChaChaRng task_rng = task_stream(kCompare, j + 1, i);
+        ChaChaRng task_rng = task_stream(StreamKind::kCompare, j + 1, i);
         auto tau = parts[j].compare_against(beta_bits[i], task_rng,
                                             key_mat.zero_pool.get(), idx * l);
         std::move(tau.begin(), tau.end(), v_sets[j].begin() + slot * l);
@@ -1076,7 +1058,7 @@ FrameworkResult run_framework(const FrameworkConfig& cfg, const AttrVec& v0,
         auto guard = obs.task(owner, static_cast<std::int32_t>(hop + 1),
                               "task.shuffle_hop", owner);
         auto scope = timer.time(hop + 1);
-        ChaChaRng task_rng = task_stream(kShuffle, hop + 1, owner);
+        ChaChaRng task_rng = task_stream(StreamKind::kShuffle, hop + 1, owner);
         parts[hop].shuffle_hop(v_sets[owner], task_rng);
       });
       obs.collect();

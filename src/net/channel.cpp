@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "net/transport.h"
+
 namespace ppgr::net {
 
 namespace {
@@ -40,8 +42,14 @@ Router::Router(std::size_t parties, runtime::TraceRecorder& trace,
       sim_(*topo_, cfg.sim),
       mailboxes_(parties * parties),
       progress_(cfg.progress),
-      flight_(cfg.flight) {
+      flight_(cfg.flight),
+      transport_(cfg.transport),
+      start_(std::chrono::steady_clock::now()) {
   if (parties_ < 2) throw std::invalid_argument("Router: need >= 2 parties");
+  if (transport_ != nullptr && cfg.faults != nullptr && cfg.faults->enabled())
+    throw std::invalid_argument(
+        "Router: fault injection requires the in-process simulator "
+        "transport (the retry ladder is a mailbox construct)");
   if (node_of_.empty()) {
     node_of_.resize(parties_);
     for (std::size_t p = 0; p < parties_; ++p) node_of_[p] = p;
@@ -123,6 +131,13 @@ void Router::send(std::size_t src, std::size_t dst,
   if (payload == nullptr) throw std::invalid_argument("Router: null payload");
   if (faults_ != nullptr) {
     faulted_send(src, dst, std::move(payload));
+    return;
+  }
+  if (transport_ != nullptr && !transport_->local(dst)) {
+    // Account first (the trace/registry view is "bytes put on the wire"),
+    // then hand the payload to the transport, which frames and ships it.
+    account(src, dst, payload->size());
+    transport_->send(src, dst, *payload);
     return;
   }
   account(src, dst, payload->size());
@@ -278,6 +293,24 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::receive(
   if (src >= parties_ || dst >= parties_)
     throw std::invalid_argument("Router: party id out of range");
   if (faults_ != nullptr) return faulted_receive(src, dst);
+  if (transport_ != nullptr && !transport_->local(src)) {
+    try {
+      auto payload = std::make_shared<const std::vector<std::uint8_t>>(
+          transport_->receive(src, dst));
+      // Inbound accounting: in a one-party-per-process run each process
+      // records both directions of its own links, so its trace and comm
+      // exports are self-contained.
+      account(src, dst, payload->size());
+      return payload;
+    } catch (const ChannelError& e) {
+      if (flight_ != nullptr)
+        flight_->record(runtime::FlightEventKind::kChannelError, phase_,
+                        static_cast<std::uint16_t>(e.kind()),
+                        static_cast<std::uint32_t>(src),
+                        static_cast<std::uint32_t>(dst));
+      throw;
+    }
+  }
   auto& box = mailbox(src, dst);
   if (box.empty())
     throw std::logic_error("Router::receive: mailbox empty");
@@ -369,7 +402,34 @@ std::shared_ptr<const std::vector<std::uint8_t>> Router::faulted_receive(
 }
 
 void Router::next_round() {
-  if (comm_ != nullptr) {
+  if (comm_ != nullptr && transport_ != nullptr) {
+    // Real transport: no virtual timeline to replay — stamp every flow of
+    // the round with the measured wall clock. All of a round's flows share
+    // its open/close instants; the elapsed time counts as queueing, so the
+    // deliver - send == tx + prop + queue invariant holds.
+    const double now_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    const double elapsed_s = now_s - round_open_s_;
+    std::vector<runtime::FlowTiming> timings(round_.size());
+    for (auto& t : timings) {
+      t.send_s = round_open_s_;
+      t.deliver_s = now_s;
+      t.tx_s = 0.0;
+      t.prop_s = 0.0;
+      t.queue_s = elapsed_s;
+    }
+    comm_->close_round(timings, elapsed_s);
+    round_.clear();
+    round_open_s_ = now_s;
+    const FaultStats ts = transport_->stats();
+    runtime::FaultCounters fc;
+    fc.retransmits = ts.retransmits;
+    fc.crc_detected = ts.crc_detected;
+    fc.timeouts = ts.timeouts;
+    fc.giveups = ts.giveups;
+    comm_->set_fault_counters(fc);
+  } else if (comm_ != nullptr) {
     auto detail = sim_.replay_detailed(round_, node_of_);
     double round_seconds = detail.summary.total_seconds;
     if (faults_ != nullptr) {
@@ -438,6 +498,19 @@ FaultReport Router::fault_report() const {
   if (faults_ != nullptr) report.plan = faults_->config();
   report.stats = stats_;
   report.events = events_;
+  if (transport_ != nullptr) {
+    // Fold the transport's frame-level counters in so ppgr.fault.v1
+    // covers real-socket runs (injected[] stays zero: nothing is injected).
+    const FaultStats ts = transport_->stats();
+    for (std::size_t i = 0; i < kFaultKindCount; ++i)
+      report.stats.injected[i] += ts.injected[i];
+    report.stats.retransmits += ts.retransmits;
+    report.stats.crc_detected += ts.crc_detected;
+    report.stats.duplicates_dropped += ts.duplicates_dropped;
+    report.stats.reorders_healed += ts.reorders_healed;
+    report.stats.timeouts += ts.timeouts;
+    report.stats.giveups += ts.giveups;
+  }
   return report;
 }
 

@@ -45,6 +45,7 @@
 // 80-node network pass an explicit topology + placement.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -62,6 +63,7 @@
 namespace ppgr::net {
 
 class Channel;
+class Transport;
 
 class Router {
  public:
@@ -86,6 +88,15 @@ class Router {
     /// error is recorded as a typed event. Must outlive the router.
     /// Observation-only — null means one untaken branch per event site.
     runtime::FlightRecorder* flight = nullptr;
+    /// Optional real transport (DESIGN.md §5f). Null: the in-process
+    /// simulator path, byte-identical to every build before the seam
+    /// existed. Non-null: sends to non-local parties are handed to the
+    /// transport (after the usual byte accounting) and receives from
+    /// non-local parties block on it; next_round() stamps wall-clock flow
+    /// timings instead of replaying the virtual-time simulator. Must
+    /// outlive the router. Mutually exclusive with `faults` — the injection
+    /// ladder is a simulator-mailbox construct.
+    Transport* transport = nullptr;
   };
 
   /// `trace` must outlive the router; `comm` may be null (byte accounting
@@ -141,7 +152,9 @@ class Router {
   /// Rounds closed so far (the fault schedule's round coordinate).
   [[nodiscard]] std::size_t round_index() const { return round_index_; }
   /// Plan echo + counters + injection event log ("ppgr.fault.v1"). Empty
-  /// default report when no plan is installed.
+  /// default report when no plan is installed. Under a real transport the
+  /// transport's frame-level counters (CRC rejects, read timeouts, connect
+  /// retries/give-ups) are merged in, so the export covers socket runs.
   [[nodiscard]] FaultReport fault_report() const;
 
  private:
@@ -176,6 +189,11 @@ class Router {
 
   runtime::ProgressSink* progress_ = nullptr;  // round-progress hook
   runtime::FlightRecorder* flight_ = nullptr;  // forensic event ring
+
+  // Real-transport state (inert when transport_ == nullptr).
+  Transport* transport_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};  // wall-clock origin
+  double round_open_s_ = 0.0;  // seconds since start_ at last round barrier
 
   // Fault-plan state (inert when faults_ == nullptr).
   const FaultPlan* faults_ = nullptr;

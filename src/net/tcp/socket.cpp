@@ -1,0 +1,295 @@
+#include "net/tcp/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ppgr::net::tcp {
+
+namespace {
+
+std::string errno_str(const char* op, int err) {
+  return std::string(op) + ": " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+[[noreturn]] void throw_errno(const char* op, int err) {
+  throw ChannelError(errno_error_kind(err), 0, 0, 0,
+                     "tcp: " + errno_str(op, err));
+}
+
+/// Polls the fd for `events` within timeout_s (<= 0: forever). Returns
+/// false on timeout; throws on poll failure.
+bool poll_fd(int fd, short events, double timeout_s, const char* what) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int timeout_ms =
+      timeout_s <= 0.0 ? -1 : static_cast<int>(timeout_s * 1e3) + 1;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw ChannelError(ChannelErrorKind::kGiveUp, 0, 0, 0,
+                       "tcp: " + errno_str(what, errno));
+  }
+}
+
+int open_tcp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", errno);
+  const int one = 1;
+  // Latency matters more than byte-coalescing for the frame-per-message
+  // protocol traffic.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw ChannelError(ChannelErrorKind::kGiveUp, 0, 0, 0,
+                       "tcp: not an IPv4 address: '" + host +
+                           "' (hostnames are not resolved; use numeric "
+                           "addresses, e.g. 127.0.0.1)");
+  return addr;
+}
+
+}  // namespace
+
+ChannelErrorKind errno_error_kind(int err) {
+  switch (err) {
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ETIMEDOUT:
+    case EINPROGRESS:
+      return ChannelErrorKind::kTimeout;
+    case ECONNRESET:
+    case EPIPE:
+    case ESHUTDOWN:
+      return ChannelErrorKind::kPeerDead;
+    default:
+      return ChannelErrorKind::kGiveUp;
+  }
+}
+
+TcpSocket::TcpSocket(int fd, SocketConfig cfg) : fd_(fd), cfg_(cfg) {}
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(other.fd_), cfg_(other.cfg_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    cfg_ = other.cfg_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
+                             const SocketConfig& cfg,
+                             std::size_t* retries_used) {
+  const sockaddr_in addr = make_addr(host, port);
+  double backoff_s = cfg.backoff_base_s;
+  int last_err = ECONNREFUSED;
+  for (std::size_t attempt = 0; attempt <= cfg.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (retries_used != nullptr) ++*retries_used;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      backoff_s *= 2.0;
+    }
+    const int fd = open_tcp_socket();
+    // Nonblocking connect so the per-attempt deadline holds even against a
+    // blackholing address.
+    struct timeval tv;
+    tv.tv_sec = static_cast<long>(cfg.connect_timeout_s);
+    tv.tv_usec = static_cast<long>((cfg.connect_timeout_s - tv.tv_sec) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) return TcpSocket{fd, cfg};
+    last_err = errno;
+    ::close(fd);
+  }
+  throw ChannelError(ChannelErrorKind::kGiveUp, 0, 0, 0,
+                     "tcp: connect to " + host + ":" + std::to_string(port) +
+                         " failed after " +
+                         std::to_string(cfg.max_retries + 1) + " attempts: " +
+                         errno_str("connect", last_err));
+}
+
+bool TcpSocket::wait_readable(double timeout_s) {
+  return poll_fd(fd_, POLLIN, timeout_s, "poll(wait)");
+}
+
+void TcpSocket::send_all(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (!poll_fd(fd_, POLLOUT, cfg_.write_timeout_s, "poll(send)"))
+      throw ChannelError(ChannelErrorKind::kTimeout, 0, 0, 0,
+                         "tcp: send stalled beyond " +
+                             std::to_string(cfg_.write_timeout_s) + "s");
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> kPeerDead, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw_errno("send", errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpSocket::recv_exact(std::span<std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (!poll_fd(fd_, POLLIN, cfg_.read_timeout_s, "poll(recv)"))
+      throw ChannelError(ChannelErrorKind::kTimeout, 0, 0, 0,
+                         "tcp: no data within " +
+                             std::to_string(cfg_.read_timeout_s) + "s");
+    const ssize_t n = ::recv(fd_, data.data() + off, data.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw_errno("recv", errno);
+    }
+    if (n == 0)
+      throw ChannelError(ChannelErrorKind::kPeerDead, 0, 0, 0,
+                         off == 0 ? "tcp: peer closed the connection"
+                                  : "tcp: peer closed mid-frame (" +
+                                        std::to_string(off) + " of " +
+                                        std::to_string(data.size()) +
+                                        " bytes read)");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port,
+                         const SocketConfig& cfg)
+    : cfg_(cfg) {
+  fd_ = open_tcp_socket();
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno(("bind " + host + ":" + std::to_string(port)).c_str(), err);
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen", err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), cfg_(other.cfg_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    cfg_ = other.cfg_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpListener::accept() {
+  // Bound by the whole connect ladder a well-behaved peer may spend:
+  // (retries+1) connect attempts plus the geometric backoff between them.
+  double deadline_s = (cfg_.max_retries + 1) * cfg_.connect_timeout_s;
+  double backoff_s = cfg_.backoff_base_s;
+  for (std::size_t i = 0; i < cfg_.max_retries; ++i) {
+    deadline_s += backoff_s;
+    backoff_s *= 2.0;
+  }
+  if (!poll_fd(fd_, POLLIN, deadline_s, "poll(accept)"))
+    throw ChannelError(ChannelErrorKind::kTimeout, 0, 0, 0,
+                       "tcp: no inbound connection within " +
+                           std::to_string(deadline_s) + "s");
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw_errno("accept", errno);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket{fd, cfg_};
+}
+
+void write_frame(TcpSocket& sock, std::uint32_t seq,
+                 std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> framed = encode_frame(seq, payload);
+  sock.send_all(framed);
+}
+
+Frame read_frame(TcpSocket& sock) {
+  std::uint8_t len_bytes[4];
+  sock.recv_exact(len_bytes);
+  const std::uint32_t total = static_cast<std::uint32_t>(len_bytes[0]) |
+                              (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+                              (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+                              (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+  if (total < kFrameHeaderBytes || total > kMaxFrameBytes)
+    throw ChannelError(ChannelErrorKind::kBadFrame, 0, 0, 0,
+                       "tcp: garbage frame length " + std::to_string(total) +
+                           " (valid: " + std::to_string(kFrameHeaderBytes) +
+                           ".." + std::to_string(kMaxFrameBytes) + ")");
+  std::vector<std::uint8_t> framed(total);
+  std::memcpy(framed.data(), len_bytes, 4);
+  sock.recv_exact(std::span<std::uint8_t>{framed}.subspan(4));
+  return decode_frame(framed);
+}
+
+}  // namespace ppgr::net::tcp

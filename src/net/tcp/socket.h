@@ -1,0 +1,127 @@
+// Thin RAII layer over POSIX TCP sockets for the net::tcp transport
+// (DESIGN.md §5f): blocking stream sockets with poll()-bounded timeouts,
+// an exponential-backoff connect ladder, and a typed mapping from socket
+// errnos into the net::ChannelError taxonomy — the same error surface the
+// fault-injection layer established, so protocol code cannot tell an
+// injected fault from a real one.
+//
+// Also the stream form of the PR 5 frame codec: write_frame /
+// read_frame carry net/fault.h's `len | seq | crc32` frames over a
+// length-delimited byte stream. read_frame is what the flaky-socketpair
+// tests beat on: short reads, mid-frame closes and garbage length fields
+// must all surface as typed ChannelErrors within the read timeout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+
+namespace ppgr::net::tcp {
+
+/// Timeouts and the connect retry ladder. Zero/negative timeout = wait
+/// forever (tests always set finite ones; ppgr_party defaults are finite).
+struct SocketConfig {
+  double connect_timeout_s = 5.0;  // per connect() attempt
+  double read_timeout_s = 30.0;    // per recv() poll
+  double write_timeout_s = 30.0;   // per send() poll
+  std::size_t max_retries = 8;     // extra connect attempts after the first
+  double backoff_base_s = 0.1;     // doubles per attempt
+};
+
+/// Maps an errno from a socket syscall to the ChannelError taxonomy:
+/// timeouts -> kTimeout, resets/EOF -> kPeerDead, everything else (refused,
+/// unreachable, ...) -> kGiveUp.
+[[nodiscard]] ChannelErrorKind errno_error_kind(int err);
+
+/// One connected stream socket (RAII over the fd; move-only).
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Adopts an already-connected fd (accept(), socketpair() in tests).
+  explicit TcpSocket(int fd, SocketConfig cfg = {});
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port, retrying with exponential backoff (cfg.
+  /// max_retries attempts beyond the first, cfg.backoff_base_s doubling)
+  /// — the peer process may simply not have bound its listener yet.
+  /// Throws ChannelError(kGiveUp) when the ladder is exhausted. When
+  /// retries_used is non-null it receives the number of extra attempts
+  /// the ladder consumed (for FaultStats::retransmits accounting).
+  [[nodiscard]] static TcpSocket connect(const std::string& host,
+                                         std::uint16_t port,
+                                         const SocketConfig& cfg,
+                                         std::size_t* retries_used = nullptr);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const SocketConfig& config() const { return cfg_; }
+  void close();
+
+  /// Polls the socket for readability within timeout_s; false on timeout.
+  /// Lets a receive loop idle at a frame boundary in short slices (checking
+  /// a stop flag between them) without burning the read timeout on links
+  /// that are legitimately quiet during long compute phases.
+  [[nodiscard]] bool wait_readable(double timeout_s);
+
+  /// Writes the whole buffer; each stalled send() is bounded by
+  /// cfg.write_timeout_s. Throws ChannelError (kTimeout / kPeerDead).
+  void send_all(std::span<const std::uint8_t> data);
+  /// Reads exactly data.size() bytes; each stalled recv() is bounded by
+  /// cfg.read_timeout_s. A clean peer close mid-read throws kPeerDead.
+  void recv_exact(std::span<std::uint8_t> data);
+
+ private:
+  int fd_ = -1;
+  SocketConfig cfg_{};
+};
+
+/// A listening socket bound to 127.0.0.1 (or `host`) : port.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port,
+              const SocketConfig& cfg);
+  ~TcpListener();
+  TcpListener(TcpListener&&) noexcept;
+  TcpListener& operator=(TcpListener&&) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accepts one connection; bounded by cfg.connect_timeout_s scaled over
+  /// the full retry ladder (peers may back off before connecting). Throws
+  /// ChannelError(kTimeout) when nobody shows up.
+  [[nodiscard]] TcpSocket accept();
+  /// The bound port (useful with port 0 = kernel-assigned, in tests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  SocketConfig cfg_{};
+};
+
+/// Frame cap for stream reads: a length field beyond this is a garbage or
+/// hostile frame, rejected as kBadFrame before any allocation. 64 MiB
+/// comfortably clears the largest protocol message (the shuffle chain's
+/// whole-V forward) at every supported spec.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Sends one `len | seq | crc` frame (net/fault.h codec) over the stream.
+void write_frame(TcpSocket& sock, std::uint32_t seq,
+                 std::span<const std::uint8_t> payload);
+
+/// Reads one frame off the stream: 4-byte length, then the rest. Throws
+/// ChannelError(kBadFrame) on an undersized/oversized length field,
+/// kTimeout / kPeerDead from the underlying reads. CRC validity is
+/// reported in Frame::crc_ok (the caller decides — the transport treats a
+/// CRC mismatch on TCP as kBadFrame, since TCP already retransmits).
+[[nodiscard]] Frame read_frame(TcpSocket& sock);
+
+}  // namespace ppgr::net::tcp

@@ -1,0 +1,313 @@
+#include "net/tcp/transport.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+#include "runtime/wire.h"
+
+namespace ppgr::net::tcp {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x52475050;  // "PPGR"
+constexpr std::uint32_t kHelloVersion = 1;
+constexpr std::uint32_t kHelloSeq = 0xffffffffu;  // outside the data space
+
+std::string link_str(std::size_t src, std::size_t dst) {
+  return "P" + std::to_string(src) + "->P" + std::to_string(dst);
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
+    throw std::invalid_argument("endpoint '" + s + "' is not host:port");
+  Endpoint ep;
+  ep.host = s.substr(0, colon);
+  const unsigned long port = std::stoul(s.substr(colon + 1));
+  if (port == 0 || port > 65535)
+    throw std::invalid_argument("endpoint '" + s + "': port out of range");
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+TcpTransport::TcpTransport(TcpTransportConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.parties < 2)
+    throw std::invalid_argument("TcpTransport: need >= 2 parties");
+  if (cfg_.party >= cfg_.parties)
+    throw std::invalid_argument("TcpTransport: party id out of range");
+  if (cfg_.peers.size() < cfg_.parties) cfg_.peers.resize(cfg_.parties);
+  peers_.resize(cfg_.parties);
+  listener_.emplace(cfg_.listen.host, cfg_.listen.port, cfg_.socket);
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+std::uint16_t TcpTransport::listen_port() const {
+  return listener_.has_value() ? listener_->port() : 0;
+}
+
+void TcpTransport::handshake_send(Peer& peer) {
+  runtime::Writer w;
+  w.u32(kHelloMagic);
+  w.u32(kHelloVersion);
+  w.u64(cfg_.session);
+  w.u32(static_cast<std::uint32_t>(cfg_.parties));
+  w.u32(static_cast<std::uint32_t>(cfg_.party));
+  write_frame(peer.sock, kHelloSeq, w.data());
+}
+
+void TcpTransport::handshake_check(std::size_t expect_party, Peer& peer) {
+  const Frame hello = read_frame(peer.sock);
+  const auto reject = [&](const std::string& why) {
+    throw ChannelError(ChannelErrorKind::kBadFrame, expect_party, cfg_.party,
+                       0, "tcp handshake: " + why);
+  };
+  if (!hello.crc_ok || hello.seq != kHelloSeq)
+    reject("corrupt hello frame");
+  runtime::Reader r{hello.payload};
+  try {
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t version = r.u32();
+    const std::uint64_t session = r.u64();
+    const std::uint32_t parties = r.u32();
+    const std::uint32_t sender = r.u32();
+    r.finish();
+    if (magic != kHelloMagic) reject("bad magic (not a ppgr_party peer?)");
+    if (version != kHelloVersion)
+      reject("protocol version mismatch (peer v" + std::to_string(version) +
+             ", ours v" + std::to_string(kHelloVersion) + ")");
+    if (session != cfg_.session)
+      reject("session id mismatch (different instance file or seed?)");
+    if (parties != cfg_.parties)
+      reject("party count mismatch (peer says " + std::to_string(parties) +
+             ", ours " + std::to_string(cfg_.parties) + ")");
+    if (sender != expect_party)
+      reject("peer identifies as P" + std::to_string(sender) +
+             ", expected P" + std::to_string(expect_party));
+  } catch (const runtime::WireError&) {
+    reject("undecodable hello payload");
+  }
+}
+
+void TcpTransport::set_peer(std::size_t id, Endpoint ep) {
+  if (connected_)
+    throw std::logic_error("TcpTransport::set_peer: already connected");
+  if (id >= cfg_.parties)
+    throw std::invalid_argument("TcpTransport::set_peer: id out of range");
+  cfg_.peers[id] = std::move(ep);
+}
+
+void TcpTransport::connect() {
+  if (connected_)
+    throw std::logic_error("TcpTransport::connect: already connected");
+  // Dial every lower-id peer. The connect ladder absorbs start-up skew:
+  // a peer that has not bound its listener yet just costs a retry.
+  for (std::size_t q = 0; q < cfg_.party; ++q) {
+    const Endpoint& ep = cfg_.peers[q];
+    if (ep.port == 0)
+      throw std::invalid_argument("TcpTransport: no endpoint for peer P" +
+                                  std::to_string(q));
+    auto peer = std::make_unique<Peer>();
+    std::size_t retries = 0;
+    try {
+      peer->sock = TcpSocket::connect(ep.host, ep.port, cfg_.socket, &retries);
+    } catch (const ChannelError&) {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.retransmits += retries;
+      stats_.giveups++;
+      throw;
+    }
+    {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.retransmits += retries;
+    }
+    handshake_send(*peer);
+    handshake_check(q, *peer);
+    peers_[q] = std::move(peer);
+  }
+  // Accept every higher-id peer; they identify themselves in the hello
+  // (accept order is whatever the kernel gives us).
+  for (std::size_t need = cfg_.party + 1; need < cfg_.parties; ++need) {
+    auto peer = std::make_unique<Peer>();
+    peer->sock = listener_->accept();
+    const Frame hello = read_frame(peer->sock);
+    std::size_t sender = cfg_.parties;
+    if (hello.crc_ok && hello.seq == kHelloSeq &&
+        hello.payload.size() >= 24) {
+      runtime::Reader r{hello.payload};
+      (void)r.u32();  // magic, validated below via handshake_check
+      (void)r.u32();
+      (void)r.u64();
+      (void)r.u32();
+      sender = r.u32();
+    }
+    if (sender <= cfg_.party || sender >= cfg_.parties ||
+        peers_[sender] != nullptr)
+      throw ChannelError(ChannelErrorKind::kBadFrame, sender, cfg_.party, 0,
+                         "tcp handshake: unexpected or duplicate peer id " +
+                             std::to_string(sender));
+    // Re-validate the full hello (magic/version/session/count) against the
+    // now-known peer id, then answer with our own.
+    {
+      runtime::Reader r{hello.payload};
+      const std::uint32_t magic = r.u32();
+      const std::uint32_t version = r.u32();
+      const std::uint64_t session = r.u64();
+      const std::uint32_t parties = r.u32();
+      const auto reject = [&](const std::string& why) {
+        throw ChannelError(ChannelErrorKind::kBadFrame, sender, cfg_.party, 0,
+                           "tcp handshake: " + why);
+      };
+      if (magic != kHelloMagic) reject("bad magic (not a ppgr_party peer?)");
+      if (version != kHelloVersion) reject("protocol version mismatch");
+      if (session != cfg_.session)
+        reject("session id mismatch (different instance file or seed?)");
+      if (parties != cfg_.parties) reject("party count mismatch");
+    }
+    handshake_send(*peer);
+    peers_[sender] = std::move(peer);
+  }
+  // Mesh up: start one reader per peer.
+  for (std::size_t q = 0; q < cfg_.parties; ++q) {
+    if (q == cfg_.party) continue;
+    peers_[q]->reader = std::thread{[this, q] { reader_loop(q); }};
+  }
+  connected_ = true;
+}
+
+void TcpTransport::reader_loop(std::size_t peer_id) {
+  Peer& peer = *peers_[peer_id];
+  for (;;) {
+    // Idle at the frame boundary in short slices so the stop flag is
+    // honored promptly, and so a link that is legitimately quiet during a
+    // long compute phase never trips the read timeout. Only once bytes
+    // start flowing is the frame read bounded by read_timeout_s.
+    try {
+      while (!peer.sock.wait_readable(0.2)) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+      }
+    } catch (const ChannelError&) {
+      const std::lock_guard<std::mutex> lock(peer.mu);
+      peer.closed = true;
+      peer.cv.notify_all();
+      return;
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    Frame frame;
+    try {
+      frame = read_frame(peer.sock);
+    } catch (const ChannelError& e) {
+      const std::lock_guard<std::mutex> lock(peer.mu);
+      peer.closed = true;
+      // Kept for the next receive() on a drained inbox to throw typed.
+      if (!peer.error.has_value())
+        peer.error.emplace(e.kind(), peer_id, cfg_.party, 0, e.what());
+      peer.cv.notify_all();
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(peer.mu);
+    if (!frame.crc_ok) {
+      // TCP already retransmits; a CRC mismatch here means corruption in
+      // flight past the kernel or a buggy/hostile peer — typed, terminal.
+      {
+        const std::lock_guard<std::mutex> slock(stats_mu_);
+        stats_.crc_detected++;
+      }
+      peer.error.emplace(ChannelErrorKind::kBadFrame, peer_id, cfg_.party, 0,
+                         "tcp: CRC mismatch on " +
+                             link_str(peer_id, cfg_.party) + " frame #" +
+                             std::to_string(frame.seq));
+      peer.closed = true;
+      peer.cv.notify_all();
+      return;
+    }
+    if (frame.seq != peer.rx_seq) {
+      peer.error.emplace(ChannelErrorKind::kBadFrame, peer_id, cfg_.party, 0,
+                         "tcp: sequence break on " +
+                             link_str(peer_id, cfg_.party) + " (got #" +
+                             std::to_string(frame.seq) + ", expected #" +
+                             std::to_string(peer.rx_seq) + ")");
+      peer.closed = true;
+      peer.cv.notify_all();
+      return;
+    }
+    peer.rx_seq++;
+    peer.inbox.push_back(std::move(frame.payload));
+    peer.cv.notify_one();
+  }
+}
+
+void TcpTransport::send(std::size_t src, std::size_t dst,
+                        const std::vector<std::uint8_t>& payload) {
+  if (src != cfg_.party)
+    throw std::invalid_argument("TcpTransport::send: src P" +
+                                std::to_string(src) + " is not local");
+  if (dst >= cfg_.parties || peers_[dst] == nullptr)
+    throw std::invalid_argument("TcpTransport::send: no peer P" +
+                                std::to_string(dst));
+  Peer& peer = *peers_[dst];
+  const std::lock_guard<std::mutex> lock(peer.send_mu);
+  write_frame(peer.sock, peer.tx_seq++, payload);
+}
+
+std::vector<std::uint8_t> TcpTransport::receive(std::size_t src,
+                                                std::size_t dst) {
+  if (dst != cfg_.party)
+    throw std::invalid_argument("TcpTransport::receive: dst P" +
+                                std::to_string(dst) + " is not local");
+  if (src >= cfg_.parties || peers_[src] == nullptr)
+    throw std::invalid_argument("TcpTransport::receive: no peer P" +
+                                std::to_string(src));
+  Peer& peer = *peers_[src];
+  std::unique_lock<std::mutex> lock(peer.mu);
+  const double timeout_s = cfg_.socket.read_timeout_s;
+  const auto ready = [&] { return !peer.inbox.empty() || peer.closed; };
+  if (timeout_s <= 0.0) {
+    peer.cv.wait(lock, ready);
+  } else if (!peer.cv.wait_for(
+                 lock, std::chrono::duration<double>(timeout_s), ready)) {
+    {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.timeouts++;
+    }
+    throw ChannelError(ChannelErrorKind::kTimeout, src, dst, 0,
+                       "tcp: no message on " + link_str(src, dst) +
+                           " within " + std::to_string(timeout_s) + "s");
+  }
+  if (!peer.inbox.empty()) {
+    std::vector<std::uint8_t> payload = std::move(peer.inbox.front());
+    peer.inbox.pop_front();
+    return payload;
+  }
+  // Closed with an empty inbox: surface the reader's stored error.
+  if (peer.error.has_value()) throw ChannelError{*peer.error};
+  throw ChannelError(ChannelErrorKind::kPeerDead, src, dst, 0,
+                     "tcp: " + link_str(src, dst) + " peer closed");
+}
+
+FaultStats TcpTransport::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TcpTransport::shutdown() {
+  // Raise the stop flag (readers notice within one idle slice), then shut
+  // the sockets down so readers blocked mid-frame wake up, then join.
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& peer : peers_) {
+    if (peer == nullptr) continue;
+    if (peer->sock.valid()) ::shutdown(peer->sock.fd(), SHUT_RDWR);
+  }
+  if (listener_.has_value()) listener_->close();
+  for (auto& peer : peers_) {
+    if (peer == nullptr) continue;
+    if (peer->reader.joinable()) peer->reader.join();
+    peer->sock.close();
+  }
+  connected_ = false;
+}
+
+}  // namespace ppgr::net::tcp

@@ -1,0 +1,122 @@
+// net::tcp::TcpTransport — the real-socket implementation of the Router's
+// Transport seam (DESIGN.md §5f): one OS process per party, a full mesh of
+// TCP connections over the PR 5 frame codec.
+//
+// Connection policy: every party listens; for each pair the *higher*-id
+// party dials the lower-id one (so the initiator, party 0, only accepts).
+// Each freshly-connected socket exchanges a hello frame — protocol magic +
+// version, session id, party count, sender id — and any disagreement is a
+// typed ChannelError before a single protocol byte moves: two processes
+// launched with different instance files or session ids refuse to talk.
+//
+// After the handshake one receive thread per peer reads frames off its
+// socket, checks CRC and per-link sequence numbers, and feeds a FIFO
+// inbox; Transport::receive() blocks on that inbox under the configured
+// read timeout. Sends are synchronous framed writes. Every failure mode —
+// connect ladder exhausted, read timeout, peer close, garbage frame —
+// surfaces as the same typed ChannelError taxonomy the fault-injection
+// simulator established, so the protocol drivers need no transport-
+// specific error handling at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp/socket.h"
+#include "net/transport.h"
+
+namespace ppgr::net::tcp {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port". Throws std::invalid_argument.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& s);
+
+struct TcpTransportConfig {
+  std::size_t party = 0;    // own party id (0 = initiator)
+  std::size_t parties = 0;  // total party count (n participants + initiator)
+  Endpoint listen;          // own listening endpoint
+  /// Peer endpoints indexed by party id; entries for ids > `party` may be
+  /// empty (those peers dial us). Own entry is ignored.
+  std::vector<Endpoint> peers;
+  /// Session id every process must agree on (derive it from the public
+  /// instance parameters + seed); the hello handshake rejects mismatches.
+  std::uint64_t session = 0;
+  SocketConfig socket{};
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds the listener only — call connect() to establish the mesh (the
+  /// two-step split lets a launcher bring all listeners up before anyone
+  /// dials).
+  explicit TcpTransport(TcpTransportConfig cfg);
+  ~TcpTransport() override;
+
+  /// Establishes the full mesh: dials every lower-id peer (with the
+  /// exponential-backoff ladder — peers may not be up yet), accepts every
+  /// higher-id peer, exchanges and validates hello frames, then starts the
+  /// per-peer receive threads. Throws ChannelError on any failure.
+  void connect();
+
+  /// Closes every socket and joins the receive threads. Idempotent;
+  /// called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] bool local(std::size_t party) const override {
+    return party == cfg_.party;
+  }
+  void send(std::size_t src, std::size_t dst,
+            const std::vector<std::uint8_t>& payload) override;
+  [[nodiscard]] std::vector<std::uint8_t> receive(std::size_t src,
+                                                  std::size_t dst) override;
+  [[nodiscard]] FaultStats stats() const override;
+
+  [[nodiscard]] const TcpTransportConfig& config() const { return cfg_; }
+  /// The actually-bound listen port (differs from cfg when 0 was asked).
+  [[nodiscard]] std::uint16_t listen_port() const;
+  /// Overrides one peer endpoint between construction and connect() — a
+  /// port-0 mesh (tests, single-host launchers) learns the real ports only
+  /// after every listener is bound. Throws once connected.
+  void set_peer(std::size_t id, Endpoint ep);
+
+ private:
+  struct Peer {
+    TcpSocket sock;
+    std::uint32_t tx_seq = 0;
+    std::mutex send_mu;
+    // Inbox fed by the receive thread, drained by receive().
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> inbox;
+    std::uint32_t rx_seq = 0;
+    bool closed = false;
+    std::optional<ChannelError> error;
+    std::thread reader;
+  };
+
+  void handshake_send(Peer& peer);
+  void handshake_check(std::size_t expect_party, Peer& peer);
+  void reader_loop(std::size_t peer_id);
+
+  TcpTransportConfig cfg_;
+  std::optional<TcpListener> listener_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by party id
+  bool connected_ = false;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex stats_mu_;
+  FaultStats stats_;
+};
+
+}  // namespace ppgr::net::tcp

@@ -1,0 +1,171 @@
+// The acceptance-criterion integration test: a full n=4 ranking run as 5
+// real OS processes over localhost TCP (scripts/run_local.sh driving the
+// ppgr_party binary) must print the exact ranking a same-seed
+// single-process ppgr_cli run prints. Also pins the launcher/party CLI
+// contracts: --help exits 0, usage errors exit 2, a session-mismatched
+// mesh exits 4 with a typed transport fault.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef PPGR_PARTY_BIN
+#error "PPGR_PARTY_BIN must be defined to the ppgr_party binary path"
+#endif
+#ifndef PPGR_CLI_BIN
+#error "PPGR_CLI_BIN must be defined to the ppgr_cli binary path"
+#endif
+#ifndef PPGR_SCRIPTS_DIR
+#error "PPGR_SCRIPTS_DIR must be defined to the repo's scripts/ directory"
+#endif
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path};
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+RunResult run_cmd(const std::string& cmd) {
+  const std::string out_path = temp_path("launcher.out");
+  const std::string err_path = temp_path("launcher.err");
+  const int status =
+      std::system((cmd + " > " + out_path + " 2> " + err_path).c_str());
+  RunResult r;
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  r.out = slurp(out_path);
+  r.err = slurp(err_path);
+  return r;
+}
+
+const char kInstance[] =
+    "spec 4 2 8 4 8\n"
+    "group dl-test-256\n"
+    "k 2\n"
+    "criterion 35 120 0 0\n"
+    "weights 10 5 2 1\n"
+    "participant 34 118 90 55\n"
+    "participant 52 160 20 90\n"
+    "participant 35 121 40 40\n"
+    "participant 29 130 70 35\n";
+
+// The "participant j: rank r" block — the part of the output that must be
+// byte-identical between the socket deployment and the simulator.
+std::string ranking_block(const std::string& out) {
+  std::istringstream in{out};
+  std::string line;
+  std::string block;
+  while (std::getline(in, line))
+    if (line.rfind("participant", 0) == 0) block += line + "\n";
+  return block;
+}
+
+std::string launcher() {
+  return std::string(PPGR_SCRIPTS_DIR) + "/run_local.sh";
+}
+
+TEST(PartyLauncher, SocketRanksByteIdenticalToSimulator) {
+  const std::string inst = temp_path("inst.ppgr");
+  write_file(inst, kInstance);
+
+  const RunResult sim = run_cmd(std::string(PPGR_CLI_BIN) + " " + inst +
+                                " --seed 42");
+  ASSERT_EQ(sim.exit_code, 0) << sim.err;
+
+  const RunResult sock = run_cmd(launcher() + " " + inst +
+                                 " --seed 42 --bin " PPGR_PARTY_BIN);
+  ASSERT_EQ(sock.exit_code, 0) << sock.err << sock.out;
+
+  const std::string expected = ranking_block(sim.out);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(ranking_block(sock.out), expected);
+}
+
+TEST(PartyLauncher, SsModeRanksMatchReference) {
+  const std::string inst = temp_path("inst_ss.ppgr");
+  write_file(inst, kInstance);
+
+  // Gains are distinct, so the SS baseline must produce the same ranking
+  // the HE protocol does — compare against the simulator's HE run.
+  const RunResult sim = run_cmd(std::string(PPGR_CLI_BIN) + " " + inst +
+                                " --seed 7");
+  ASSERT_EQ(sim.exit_code, 0) << sim.err;
+
+  const RunResult sock = run_cmd(launcher() + " " + inst +
+                                 " --seed 7 --framework ss --threshold 1"
+                                 " --bin " PPGR_PARTY_BIN);
+  ASSERT_EQ(sock.exit_code, 0) << sock.err << sock.out;
+  EXPECT_EQ(ranking_block(sock.out), ranking_block(sim.out));
+}
+
+TEST(PartyLauncher, HelpExitsZero) {
+  EXPECT_EQ(run_cmd(launcher() + " --help").exit_code, 0);
+  EXPECT_EQ(run_cmd(std::string(PPGR_PARTY_BIN) + " --help").exit_code, 0);
+}
+
+TEST(PartyLauncher, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cmd(launcher()).exit_code, 2);             // no instance
+  EXPECT_EQ(run_cmd(launcher() + " --bogus").exit_code, 2);
+  EXPECT_EQ(run_cmd(std::string(PPGR_PARTY_BIN)).exit_code, 2);
+  EXPECT_EQ(
+      run_cmd(std::string(PPGR_PARTY_BIN) + " --party-id x").exit_code, 2);
+}
+
+TEST(PartyLauncher, SessionMismatchIsTypedFault) {
+  // Two parties from *different* instance agreements: the handshake must
+  // refuse the session and both processes exit 4 (typed transport fault)
+  // within their timeouts — no hang, no crash.
+  const std::string spec_a = temp_path("spec_a.txt");
+  const std::string spec_b = temp_path("spec_b.txt");
+  write_file(spec_a, "spec 4 2 8 4 8\ngroup dl-test-256\nk 1\nparties 2\n");
+  write_file(spec_b, "spec 4 2 8 4 8\ngroup dl-test-256\nk 2\nparties 2\n");
+  const std::string in0 = temp_path("mism_in0.txt");
+  const std::string in1 = temp_path("mism_in1.txt");
+  const std::string in2 = temp_path("mism_in2.txt");
+  write_file(in0, "criterion 35 120 0 0\nweights 10 5 2 1\n");
+  write_file(in1, "participant 34 118 90 55\n");
+  write_file(in2, "participant 52 160 20 90\n");
+
+  const std::string peers =
+      "0=127.0.0.1:23470,1=127.0.0.1:23471,2=127.0.0.1:23472";
+  const std::string common =
+      " --peers " + peers +
+      " --retries 3 --connect-timeout 2 --read-timeout 2 --quiet";
+  const auto party = [&](int id, const std::string& spec,
+                         const std::string& input) {
+    return std::string(PPGR_PARTY_BIN) + " --party-id " +
+           std::to_string(id) + " --listen 127.0.0.1:2347" +
+           std::to_string(id) + " --spec " + spec + " --input " + input +
+           common;
+  };
+  // Parties 0 and 1 agree on instance A; party 2 shows up with instance B.
+  // Its hellos are refused, it must exit 4 within its timeouts — and the
+  // honest parties, left with a hole in their mesh, fail typed too.
+  const RunResult r = run_cmd(party(0, spec_a, in0) + " & p0=$!; " +
+                              party(1, spec_a, in1) + " & p1=$!; " +
+                              party(2, spec_b, in2) +
+                              "; s=$?; wait $p0 $p1; exit $s");
+  EXPECT_EQ(r.exit_code, 4) << r.err << r.out;
+}
+
+}  // namespace
